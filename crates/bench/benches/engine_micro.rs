@@ -1,0 +1,71 @@
+//! Criterion benches of end-to-end engine work: planning (including
+//! Algorithm 4) and one real distributed training epoch per engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ns_gnn::{GnnModel, ModelKind};
+use ns_graph::datasets::by_name;
+use ns_graph::Dataset;
+use ns_net::ClusterSpec;
+use ns_runtime::{EngineKind, Trainer, TrainerConfig};
+
+fn setup() -> (Dataset, GnnModel) {
+    let ds = by_name("google").unwrap().materialize(0.002, 42);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 32, ds.num_classes, 7);
+    (ds, model)
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let (ds, model) = setup();
+    let mut g = c.benchmark_group("engine/prepare_google_4w");
+    for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, &engine| {
+                b.iter(|| {
+                    let cfg = TrainerConfig::new(engine, ClusterSpec::aliyun_ecs(4));
+                    black_box(Trainer::prepare(&ds, &model, cfg).unwrap().plans().len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let (ds, model) = setup();
+    let mut g = c.benchmark_group("engine/real_epoch_google_4w");
+    g.sample_size(10);
+    for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+        let trainer = Trainer::prepare(
+            &ds,
+            &model,
+            TrainerConfig::new(engine, ClusterSpec::aliyun_ecs(4)),
+        )
+        .unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, _| b.iter(|| black_box(trainer.train(1).unwrap().final_loss())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (ds, model) = setup();
+    let trainer = Trainer::prepare(
+        &ds,
+        &model,
+        TrainerConfig::new(EngineKind::Hybrid, ClusterSpec::aliyun_ecs(16)),
+    )
+    .unwrap();
+    c.bench_function("engine/simulate_epoch_hybrid_16w", |b| {
+        b.iter(|| black_box(trainer.simulate_epoch().epoch_seconds))
+    });
+}
+
+criterion_group!(benches, bench_prepare, bench_train_epoch, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenches for the graph substrate: construction,
+//! partitioning, and k-hop closure extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ns_graph::generate::rmat;
+use ns_graph::khop::khop_in_closure;
+use ns_graph::{CsrGraph, Partitioner};
+
+fn test_graph(n: usize, m: usize) -> CsrGraph {
+    let edges = rmat(n, m, (0.57, 0.19, 0.19), 42);
+    CsrGraph::from_edges(n, &edges, true)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let edges = rmat(10_000, 80_000, (0.57, 0.19, 0.19), 42);
+    c.bench_function("graph/csr_build_10k_80k", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(10_000, &edges, true)))
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = test_graph(10_000, 80_000);
+    let mut grp = c.benchmark_group("graph/partition_10k_80k_into_8");
+    for p in [Partitioner::Chunk, Partitioner::MetisLike, Partitioner::Fennel] {
+        grp.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| black_box(p.partition(&g, 8)))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let g = test_graph(10_000, 80_000);
+    let part = Partitioner::Chunk.partition(&g, 8);
+    let seeds = part.part_vertices(0);
+    c.bench_function("graph/khop2_closure_of_partition", |b| {
+        b.iter(|| black_box(khop_in_closure(&g, &seeds, 2)))
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("graph/rmat_50k_edges", |b| {
+        b.iter(|| black_box(rmat(8_192, 50_000, (0.57, 0.19, 0.19), 7)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_partitioners, bench_khop, bench_generators);
+criterion_main!(benches);

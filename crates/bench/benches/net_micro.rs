@@ -1,0 +1,88 @@
+//! Criterion microbenches for the fabric and simulator: lock-free vs
+//! mutex message buffers (the §4.3 optimization, measured for real) and
+//! event-simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ns_net::buffer::{LockFreeChunkBuffer, MutexChunkBuffer};
+use ns_net::sim::simulate;
+use ns_net::{ClusterSpec, ExecOptions, TaskGraph};
+
+const SLOTS: usize = 4096;
+const COLS: usize = 64;
+const THREADS: usize = 8;
+
+fn bench_buffers(c: &mut Criterion) {
+    let row = vec![1.0f32; COLS];
+    let mut g = c.benchmark_group("net/parallel_enqueue_4096x64_8threads");
+    g.bench_function("lock_free", |b| {
+        b.iter(|| {
+            let buf = LockFreeChunkBuffer::new(SLOTS, COLS);
+            crossbeam::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let (buf, row) = (&buf, &row);
+                    s.spawn(move |_| {
+                        for slot in (t..SLOTS).step_by(THREADS) {
+                            buf.write_row(slot, row);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            black_box(buf.into_rows())
+        })
+    });
+    g.bench_function("mutex", |b| {
+        b.iter(|| {
+            let buf = MutexChunkBuffer::new(SLOTS, COLS);
+            crossbeam::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let (buf, row) = (&buf, &row);
+                    s.spawn(move |_| {
+                        for slot in (t..SLOTS).step_by(THREADS) {
+                            buf.write_row(slot, row);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            black_box(buf.into_rows())
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // A DepComm-shaped epoch DAG: 16 workers, 2 layers, full mesh of
+    // chunk sends with per-chunk compute, forward and backward.
+    let m = 16;
+    let spec = ClusterSpec::aliyun_ecs(m);
+    let mut g = TaskGraph::new();
+    let mut prev: Vec<Option<ns_net::TaskId>> = vec![None; m];
+    for _layer in 0..4 {
+        let mut sends = vec![vec![None; m]; m];
+        for i in 0..m {
+            let deps = prev[i].map(|t| vec![t]).unwrap_or_default();
+            for k in 1..m {
+                let j = (i + k) % m;
+                sends[i][j] = Some(g.send(i, j, 200_000, deps.clone()));
+            }
+        }
+        for i in 0..m {
+            let mut chunks = Vec::new();
+            for j in 0..m {
+                if let Some(s) = sends[j][i] {
+                    chunks.push(g.compute_sparse(i, 3_000_000, vec![s]));
+                }
+            }
+            prev[i] = Some(g.compute(i, 40_000_000, chunks));
+        }
+    }
+    c.bench_function("net/simulate_16w_4phase_mesh", |b| {
+        b.iter(|| black_box(simulate(&g, &spec, &ExecOptions::all()).makespan))
+    });
+}
+
+criterion_group!(benches, bench_buffers, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenches for the tensor/autograd substrate: the kernels
+//! every training step is made of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ns_tensor::{Tape, Tensor};
+
+fn make(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| (((i as u64).wrapping_mul(seed + 7) % 1000) as f32 - 500.0) / 500.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor/matmul");
+    for &n in &[64usize, 256] {
+        let a = make(n, n, 1);
+        let b = make(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    // Fused neighborhood aggregation vs the gather+scatter composition it
+    // replaces — the fusion that keeps GCN/GIN edge memory off the device.
+    let n = 4096;
+    let deg = 16;
+    let d = 64;
+    let x = make(n, d, 3);
+    let edge_src: Vec<u32> = (0..n * deg).map(|i| ((i * 37) % n) as u32).collect();
+    let edge_dst: Vec<u32> = (0..n * deg).map(|i| (i / deg) as u32).collect();
+    let offsets: Vec<usize> = (0..=n).map(|i| i * deg).collect();
+    let weights = vec![0.25f32; n * deg];
+
+    let mut g = c.benchmark_group("tensor/aggregate");
+    g.bench_function("fused_spmm", |b| {
+        b.iter(|| black_box(x.weighted_aggregate(&edge_src, &offsets, Some(&weights))))
+    });
+    g.bench_function("gather_then_scatter", |b| {
+        b.iter(|| {
+            let msgs = x.gather_rows(&edge_src);
+            black_box(msgs.scatter_add_rows(&edge_dst, n))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tape_roundtrip(c: &mut Criterion) {
+    // One GCN-layer-shaped tape: aggregate + linear + relu, forward and
+    // backward.
+    let n = 2048;
+    let d_in = 64;
+    let d_out = 32;
+    let deg = 8;
+    let x = make(n, d_in, 5);
+    let w = make(d_in, d_out, 6);
+    let edge_src: Arc<[u32]> = (0..n * deg).map(|i| ((i * 31) % n) as u32).collect();
+    let offsets: Arc<[usize]> = (0..=n).map(|i| i * deg).collect();
+
+    c.bench_function("tape/gcn_layer_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let agg = tape.weighted_aggregate(
+                xv,
+                Arc::clone(&edge_src),
+                Arc::clone(&offsets),
+                None,
+            );
+            let z = tape.matmul(agg, wv);
+            let y = tape.relu(z);
+            tape.backward_from(y, Tensor::full(n, d_out, 1.0));
+            black_box(tape.grad(wv).map(Tensor::norm))
+        })
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let logits = make(4096, 41, 9);
+    c.bench_function("tensor/log_softmax_rows", |b| {
+        b.iter(|| black_box(logits.log_softmax_rows()))
+    });
+    let edge_logits = make(65536, 1, 10);
+    let offsets: Vec<usize> = (0..=4096).map(|i| i * 16).collect();
+    c.bench_function("tensor/segment_softmax", |b| {
+        b.iter(|| black_box(edge_logits.segment_softmax(&offsets)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_tape_roundtrip, bench_softmax);
+criterion_main!(benches);

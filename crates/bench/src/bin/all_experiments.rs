@@ -1,0 +1,31 @@
+//! Umbrella driver: regenerates every table and figure in sequence by
+//! invoking the sibling binaries. Equivalent to running each `figXX` /
+//! `tableXX` binary by hand; results land in `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table02", "fig02", "fig09", "table03", "fig10", "fig11", "fig12", "fig13",
+    "fig15", "table04", "table05", "ablation_sync", "ablation_depth", "fig14",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated; JSON in results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! `nts` — command-line front end for the NeutronStar reproduction.
+//!
+//! ```text
+//! nts datasets
+//! nts train    --dataset pokec --engine hybrid --workers 8 --epochs 20
+//! nts simulate --dataset reddit --engine depcache --workers 16
+//! nts probe    --dataset livejournal --cluster ibv
+//! ```
+
+use neutronstar::cli::{parse, Command, RunArgs, USAGE};
+use neutronstar::prelude::*;
+use neutronstar::runtime::cost::probe;
+use neutronstar::runtime::TrainerConfig;
+use neutronstar::tensor::checkpoint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => print!("{USAGE}"),
+        Ok(Command::Datasets) => datasets(),
+        Ok(Command::Train(ra)) => run(&ra, Mode::Train),
+        Ok(Command::Simulate(ra)) => run(&ra, Mode::Simulate),
+        Ok(Command::Probe(ra)) => run(&ra, Mode::Probe),
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn datasets() {
+    println!(
+        "{:<12} {:>10} {:>12} {:>6} {:>4} {:>8} {:>5}",
+        "name", "|V|", "|E|", "ftr", "#L", "avg-deg", "hid"
+    );
+    for spec in neutronstar::graph::datasets::registry() {
+        println!(
+            "{:<12} {:>10} {:>12} {:>6} {:>4} {:>8.2} {:>5}",
+            spec.name,
+            spec.vertices,
+            spec.edges,
+            spec.feature_dim,
+            spec.num_classes,
+            spec.avg_degree(),
+            spec.hidden_dim
+        );
+    }
+}
+
+enum Mode {
+    Train,
+    Simulate,
+    Probe,
+}
+
+fn run(ra: &RunArgs, mode: Mode) {
+    let spec = match DatasetSpec::named(&ra.dataset) {
+        Some(s) => s,
+        None => {
+            eprintln!("error: unknown dataset {:?} (see `nts datasets`)", ra.dataset);
+            std::process::exit(2);
+        }
+    };
+    let dataset = spec.materialize(ra.scale, ra.seed);
+    let hidden = ra.hidden.unwrap_or(dataset.hidden_dim);
+    let model = GnnModel::two_layer(
+        ra.model,
+        dataset.feature_dim(),
+        hidden,
+        dataset.num_classes,
+        ra.seed,
+    );
+    let cluster = match ra.cluster_spec() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{} | {} x{} (scale {}) | {} hid {} | {} workers on {}",
+        match mode {
+            Mode::Train => "train",
+            Mode::Simulate => "simulate",
+            Mode::Probe => "probe",
+        },
+        dataset.name,
+        dataset.graph.num_vertices(),
+        ra.scale,
+        ra.model.name(),
+        hidden,
+        cluster.workers,
+        cluster.name,
+    );
+
+    if let Mode::Probe = mode {
+        let costs = probe(&model, &cluster);
+        println!("layer  T_v(s)      T_e(s)      T_c(s)");
+        for lz in 0..model.num_layers() {
+            println!(
+                "{:>5}  {:<10.3e}  {:<10.3e}  {:<10.3e}",
+                lz + 1,
+                costs.t_v[lz],
+                costs.t_e[lz],
+                costs.t_c[lz]
+            );
+        }
+        return;
+    }
+
+    let mut cfg = TrainerConfig::new(ra.engine, cluster);
+    cfg.partitioner = ra.partitioner;
+    cfg.opts = ra.opts;
+    cfg.lr = ra.lr;
+    cfg.sync = ra.sync;
+    let trainer = match neutronstar::runtime::Trainer::prepare(&dataset, &model, cfg) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match mode {
+        Mode::Simulate => {
+            let sim = trainer.simulate_epoch();
+            println!(
+                "epoch: {:.6}s | {:.3} MB moved | {:.3} GFLOP | device util {:.1}% | NIC util {:.1}%",
+                sim.epoch_seconds,
+                sim.bytes_per_epoch as f64 / 1e6,
+                sim.flops_per_epoch as f64 / 1e9,
+                sim.device_utilization * 100.0,
+                sim.nic_utilization * 100.0,
+            );
+        }
+        Mode::Train => match trainer.train(ra.epochs) {
+            Ok(report) => {
+                println!("epoch  loss      train  val    test");
+                for e in &report.epochs {
+                    println!(
+                        "{:>5}  {:<8.4}  {:.3}  {:.3}  {:.3}",
+                        e.epoch, e.loss, e.train_acc, e.val_acc, e.test_acc
+                    );
+                }
+                println!(
+                    "simulated: {:.6}s/epoch ({:.3}s total)",
+                    report.sim.epoch_seconds,
+                    report.simulated_seconds(ra.epochs)
+                );
+                if let Some(path) = &ra.save {
+                    let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                        eprintln!("error: cannot create {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    checkpoint::save(&report.final_params, &mut f)
+                        .expect("write checkpoint");
+                    println!("checkpoint written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Mode::Probe => unreachable!(),
+    }
+}

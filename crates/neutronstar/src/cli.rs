@@ -1,0 +1,304 @@
+//! Argument parsing and command dispatch for the `nts` command-line tool.
+//!
+//! Hand-rolled flag parsing (no CLI dependency): `--key value` pairs after
+//! a subcommand. Parsing is separated from execution so it can be unit
+//! tested without running anything.
+
+use std::collections::BTreeMap;
+
+use ns_gnn::ModelKind;
+use ns_graph::Partitioner;
+use ns_net::{ClusterSpec, ExecOptions};
+use ns_runtime::exec::SyncMode;
+use ns_runtime::EngineKind;
+
+/// A parsed `nts` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `nts datasets` — list the registry.
+    Datasets,
+    /// `nts train ...` — real distributed training.
+    Train(RunArgs),
+    /// `nts simulate ...` — plan + simulate one epoch, no training.
+    Simulate(RunArgs),
+    /// `nts probe ...` — print the Algorithm 4 cost factors.
+    Probe(RunArgs),
+    /// `nts help`.
+    Help,
+}
+
+/// Options shared by `train` / `simulate` / `probe`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Dataset name from the registry.
+    pub dataset: String,
+    /// Materialization scale.
+    pub scale: f64,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Hidden width (defaults to the dataset's paper pairing).
+    pub hidden: Option<usize>,
+    /// Engine.
+    pub engine: EngineKind,
+    /// Worker count.
+    pub workers: usize,
+    /// Cluster preset (`ecs` or `ibv`).
+    pub cluster: String,
+    /// Partitioner.
+    pub partitioner: Partitioner,
+    /// Epochs (train only).
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Optimization toggles.
+    pub opts: ExecOptions,
+    /// Gradient sync mode.
+    pub sync: SyncMode,
+    /// RNG seed.
+    pub seed: u64,
+    /// Checkpoint output path (train only).
+    pub save: Option<String>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            dataset: "google".to_string(),
+            scale: 0.005,
+            model: ModelKind::Gcn,
+            hidden: None,
+            engine: EngineKind::Hybrid,
+            workers: 4,
+            cluster: "ecs".to_string(),
+            partitioner: Partitioner::Chunk,
+            epochs: 10,
+            lr: 0.01,
+            opts: ExecOptions::all(),
+            sync: SyncMode::AllReduce,
+            seed: 42,
+            save: None,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Builds the modeled cluster from the preset name and worker count.
+    pub fn cluster_spec(&self) -> Result<ClusterSpec, String> {
+        match self.cluster.as_str() {
+            "ecs" => Ok(ClusterSpec::aliyun_ecs(self.workers)),
+            "ibv" => Ok(ClusterSpec::ibv(self.workers)),
+            "cpu" => Ok(ClusterSpec::cpu_single()),
+            other => Err(format!("unknown cluster preset {other:?} (ecs|ibv|cpu)")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nts — NeutronStar reproduction CLI
+
+USAGE:
+  nts datasets
+  nts train    [options]
+  nts simulate [options]
+  nts probe    [options]
+
+OPTIONS (train/simulate/probe):
+  --dataset <name>        registry name (default google)
+  --scale <f>             materialization scale (default 0.005)
+  --model <gcn|gin|gat|sage>
+  --hidden <n>            hidden width (default: dataset pairing)
+  --engine <depcache|depcomm|hybrid>
+  --workers <n>           worker count (default 4)
+  --cluster <ecs|ibv|cpu> cluster preset (default ecs)
+  --partitioner <chunk|metis|fennel>
+  --epochs <n>            training epochs (default 10)
+  --lr <f>                learning rate (default 0.01)
+  --sync <allreduce|ps>   gradient synchronization
+  --seed <n>              RNG seed (default 42)
+  --save <path>           write trained checkpoint (train only)
+  --no-ring --no-lockfree --no-overlap   disable optimizations
+";
+
+fn parse_flag_value<'a>(
+    flags: &'a BTreeMap<String, String>,
+    key: &str,
+) -> Option<&'a String> {
+    flags.get(key)
+}
+
+/// Parses CLI arguments (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "datasets" => return Ok(Command::Datasets),
+        "train" | "simulate" | "probe" => {}
+        other => return Err(format!("unknown subcommand {other:?}")),
+    }
+
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let mut switches: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        if matches!(key, "no-ring" | "no-lockfree" | "no-overlap") {
+            switches.push(key.to_string());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+    }
+
+    let mut ra = RunArgs::default();
+    if let Some(v) = parse_flag_value(&flags, "dataset") {
+        ra.dataset = v.clone();
+    }
+    if let Some(v) = parse_flag_value(&flags, "scale") {
+        ra.scale = v.parse().map_err(|_| format!("bad --scale {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "model") {
+        ra.model = match v.as_str() {
+            "gcn" => ModelKind::Gcn,
+            "gin" => ModelKind::Gin,
+            "gat" => ModelKind::Gat,
+            "sage" => ModelKind::Sage,
+            _ => return Err(format!("bad --model {v:?}")),
+        };
+    }
+    if let Some(v) = parse_flag_value(&flags, "hidden") {
+        ra.hidden = Some(v.parse().map_err(|_| format!("bad --hidden {v:?}"))?);
+    }
+    if let Some(v) = parse_flag_value(&flags, "engine") {
+        ra.engine = match v.as_str() {
+            "depcache" => EngineKind::DepCache,
+            "depcomm" => EngineKind::DepComm,
+            "hybrid" => EngineKind::Hybrid,
+            _ => return Err(format!("bad --engine {v:?}")),
+        };
+    }
+    if let Some(v) = parse_flag_value(&flags, "workers") {
+        ra.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "cluster") {
+        ra.cluster = v.clone();
+    }
+    if let Some(v) = parse_flag_value(&flags, "partitioner") {
+        ra.partitioner = match v.as_str() {
+            "chunk" => Partitioner::Chunk,
+            "metis" | "metis-like" => Partitioner::MetisLike,
+            "fennel" => Partitioner::Fennel,
+            _ => return Err(format!("bad --partitioner {v:?}")),
+        };
+    }
+    if let Some(v) = parse_flag_value(&flags, "epochs") {
+        ra.epochs = v.parse().map_err(|_| format!("bad --epochs {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "lr") {
+        ra.lr = v.parse().map_err(|_| format!("bad --lr {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "sync") {
+        ra.sync = match v.as_str() {
+            "allreduce" => SyncMode::AllReduce,
+            "ps" | "parameter-server" => SyncMode::ParameterServer,
+            _ => return Err(format!("bad --sync {v:?}")),
+        };
+    }
+    if let Some(v) = parse_flag_value(&flags, "seed") {
+        ra.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "save") {
+        ra.save = Some(v.clone());
+    }
+    for s in switches {
+        match s.as_str() {
+            "no-ring" => ra.opts.ring = false,
+            "no-lockfree" => ra.opts.lock_free = false,
+            "no-overlap" => ra.opts.overlap = false,
+            _ => unreachable!(),
+        }
+    }
+
+    Ok(match sub.as_str() {
+        "train" => Command::Train(ra),
+        "simulate" => Command::Simulate(ra),
+        "probe" => Command::Probe(ra),
+        _ => unreachable!(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn datasets_subcommand() {
+        assert_eq!(parse(&args("datasets")).unwrap(), Command::Datasets);
+    }
+
+    #[test]
+    fn train_with_full_flags() {
+        let cmd = parse(&args(
+            "train --dataset reddit --scale 0.001 --model gat --engine depcomm \
+             --workers 8 --cluster ibv --partitioner fennel --epochs 5 --lr 0.05 \
+             --sync ps --seed 7 --save /tmp/m.ckpt --no-overlap",
+        ))
+        .unwrap();
+        let Command::Train(ra) = cmd else { panic!("expected train") };
+        assert_eq!(ra.dataset, "reddit");
+        assert_eq!(ra.scale, 0.001);
+        assert_eq!(ra.model, ModelKind::Gat);
+        assert_eq!(ra.engine, EngineKind::DepComm);
+        assert_eq!(ra.workers, 8);
+        assert_eq!(ra.cluster, "ibv");
+        assert_eq!(ra.partitioner, Partitioner::Fennel);
+        assert_eq!(ra.epochs, 5);
+        assert_eq!(ra.lr, 0.05);
+        assert_eq!(ra.sync, SyncMode::ParameterServer);
+        assert_eq!(ra.seed, 7);
+        assert_eq!(ra.save.as_deref(), Some("/tmp/m.ckpt"));
+        assert!(ra.opts.ring && ra.opts.lock_free && !ra.opts.overlap);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let Command::Simulate(ra) = parse(&args("simulate")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(ra, RunArgs::default());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&args("frobnicate")).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&args("train --model vae")).unwrap_err().contains("--model"));
+        assert!(parse(&args("train --epochs")).unwrap_err().contains("needs a value"));
+        assert!(parse(&args("train epochs 3")).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn cluster_spec_resolution() {
+        let mut ra = RunArgs { workers: 3, ..Default::default() };
+        assert_eq!(ra.cluster_spec().unwrap().workers, 3);
+        ra.cluster = "ibv".into();
+        assert!(ra.cluster_spec().unwrap().name.starts_with("ibv"));
+        ra.cluster = "mars".into();
+        assert!(ra.cluster_spec().is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The high-level training session builder.
+
+use ns_gnn::GnnModel;
+use ns_graph::{Dataset, Partitioner};
+use ns_net::{ClusterSpec, ExecOptions};
+use ns_runtime::exec::{OptimizerKind, SyncMode};
+use ns_runtime::trainer::{SimSummary, Trainer, TrainerConfig};
+use ns_runtime::{EngineKind, HybridConfig, RuntimeError, TrainingReport};
+
+/// Builder for a [`TrainingSession`].
+///
+/// Mirrors the knobs the paper exposes: engine (DepCache / DepComm /
+/// Hybrid), graph partitioner (chunk / metis-like / fennel), cluster
+/// (Aliyun ECS or IBV presets, any worker count), and the three system
+/// optimizations of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    engine: EngineKind,
+    partitioner: Partitioner,
+    cluster: ClusterSpec,
+    opts: ExecOptions,
+    lr: f32,
+    optimizer: OptimizerKind,
+    hybrid: HybridConfig,
+    sync: SyncMode,
+    enforce_memory: bool,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::Hybrid,
+            partitioner: Partitioner::Chunk,
+            cluster: ClusterSpec::aliyun_ecs(4),
+            opts: ExecOptions::all(),
+            lr: 0.01,
+            optimizer: OptimizerKind::Adam,
+            hybrid: HybridConfig::default(),
+            sync: SyncMode::AllReduce,
+            enforce_memory: true,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Dependency engine (default: Hybrid).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Graph partitioner (default: chunk-based).
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Cluster model (default: 4-worker Aliyun ECS preset).
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// System-optimization toggles (default: all enabled).
+    pub fn optimizations(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Learning rate (default: 0.01).
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Optimizer (default: Adam).
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Hybrid-engine knobs (memory budget, Fig. 11 ratio override).
+    pub fn hybrid(mut self, hybrid: HybridConfig) -> Self {
+        self.hybrid = hybrid;
+        self
+    }
+
+    /// Gradient synchronization strategy (default: ring all-reduce; the
+    /// paper notes the Parameter-Server model is an orthogonal drop-in).
+    pub fn sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Disable the projected device-memory check (useful for what-if runs
+    /// of engines the modeled device could not actually hold).
+    pub fn without_memory_check(mut self) -> Self {
+        self.enforce_memory = false;
+        self
+    }
+
+    /// Plans the session (partitioning, dependency decisions, memory
+    /// validation, cost probing).
+    pub fn build<'a>(
+        self,
+        dataset: &'a Dataset,
+        model: &'a GnnModel,
+    ) -> Result<TrainingSession<'a>, RuntimeError> {
+        let cfg = TrainerConfig {
+            engine: self.engine,
+            partitioner: self.partitioner,
+            cluster: self.cluster,
+            opts: self.opts,
+            lr: self.lr,
+            optimizer: self.optimizer,
+            hybrid: self.hybrid,
+            broadcast_full_partition: false,
+            sync: self.sync,
+            enforce_memory: self.enforce_memory,
+        };
+        Ok(TrainingSession { trainer: Trainer::prepare(dataset, model, cfg)? })
+    }
+}
+
+/// A planned training session, ready to run.
+pub struct TrainingSession<'a> {
+    trainer: Trainer<'a>,
+}
+
+impl<'a> TrainingSession<'a> {
+    /// Starts a builder.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Runs `epochs` epochs of real distributed training (one thread per
+    /// modeled worker) and returns numerics plus simulated cluster timing.
+    pub fn train(&self, epochs: usize) -> Result<TrainingReport, RuntimeError> {
+        self.trainer.train(epochs)
+    }
+
+    /// Simulates one epoch on the modeled cluster without training.
+    pub fn simulate_epoch(&self) -> SimSummary {
+        self.trainer.simulate_epoch()
+    }
+
+    /// Access to the underlying trainer (plans, probed costs).
+    pub fn trainer(&self) -> &Trainer<'a> {
+        &self.trainer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_gnn::ModelKind;
+    use ns_graph::datasets::by_name;
+
+    #[test]
+    fn builder_roundtrip_trains() {
+        let ds = by_name("cora").unwrap().materialize(0.2, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 1);
+        let session = TrainingSession::builder()
+            .engine(EngineKind::DepComm)
+            .cluster(ClusterSpec::aliyun_ecs(2))
+            .learning_rate(0.02)
+            .build(&ds, &model)
+            .unwrap();
+        let report = session.train(2).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.engine, "DepComm");
+    }
+
+    #[test]
+    fn simulate_without_training() {
+        let ds = by_name("cora").unwrap().materialize(0.2, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gat, ds.feature_dim(), 8, ds.num_classes, 1);
+        let session = TrainingSession::builder()
+            .engine(EngineKind::DepCache)
+            .build(&ds, &model)
+            .unwrap();
+        assert!(session.simulate_epoch().epoch_seconds > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Comparison systems for the NeutronStar evaluation.
+//!
+//! The paper compares NeutronStar against DistDGL (the canonical
+//! DepCache + sampling system), ROC (the canonical DepComm system), and —
+//! on a single node — DGL and PyTorch Geometric. None of those code bases
+//! exist in this environment, so this crate rebuilds each system's
+//! *mechanism*, which is what the paper's findings rest on:
+//!
+//! * [`distdgl`] — sampled mini-batch training: per batch, fan-out
+//!   neighbor sampling, remote feature fetch (metered against the modeled
+//!   network), compute on the sampled block, per-batch all-reduce. The
+//!   sampling pipeline's serialized fetch→train loop reproduces DistDGL's
+//!   low GPU utilization and high bandwidth use; the partial-neighborhood
+//!   gradients reproduce its lower accuracy ceiling.
+//! * [`roc`] — a ROC-like configuration of the NeutronStar runtime:
+//!   DepComm dependency handling with whole-partition block transfers
+//!   (no source chunking), no ring schedule, no overlap, no lock-free
+//!   queues — §5.3's description of ROC's communication.
+//! * [`shared_memory`] — single-node system models (DGL-like, PyG-like,
+//!   ROC-single, NeutronStar) for Tables 4 and 5: identical FLOP counts,
+//!   differing memory policies (dense adjacency, fully materialized edge
+//!   tensors, or chunk-streamed) and kernel efficiencies.
+
+pub mod distdgl;
+pub mod roc;
+pub mod shared_memory;
+
+pub use distdgl::{DistDglConfig, DistDglLike, DistDglReport};
+pub use roc::roc_like_config;
+pub use shared_memory::{shared_memory_row, SharedMemorySystem, SysResult};

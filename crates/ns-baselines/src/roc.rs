@@ -1,0 +1,84 @@
+//! ROC-like configuration of the NeutronStar runtime.
+//!
+//! ROC is a DepComm system; the paper attributes its performance gap to
+//! communication structure, not numerics: "the ROC worker does not
+//! differentiate the output messages with various destinations and sends
+//! the whole messages block to all workers, where the remote workers pick
+//! the necessary dependencies from the block" (§5.3), and it lacks
+//! NeutronStar's ring scheduling, lock-free queuing, and
+//! communication/computation overlap. Training numerics are identical to
+//! DepComm (full-graph, full-neighbor), so we reuse the runtime with the
+//! communication model swapped.
+
+use ns_net::{ClusterSpec, ExecOptions};
+use ns_runtime::{EngineKind, TrainerConfig};
+
+/// A `TrainerConfig` that makes the NeutronStar runtime behave like ROC.
+pub fn roc_like_config(cluster: ClusterSpec) -> TrainerConfig {
+    let mut cfg = TrainerConfig::new(EngineKind::DepComm, cluster);
+    cfg.opts = ExecOptions::none();
+    cfg.broadcast_full_partition = true;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_gnn::{GnnModel, ModelKind};
+    use ns_graph::datasets::by_name;
+    use ns_runtime::Trainer;
+
+    #[test]
+    fn roc_like_is_slower_than_tuned_depcomm() {
+        let ds = by_name("pokec").unwrap().materialize(0.001, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 32, ds.num_classes, 1);
+        let cluster = ClusterSpec::aliyun_ecs(4);
+        let roc = Trainer::prepare(&ds, &model, roc_like_config(cluster.clone()))
+            .unwrap()
+            .simulate_epoch();
+        let nts_comm = Trainer::prepare(
+            &ds,
+            &model,
+            TrainerConfig::new(EngineKind::DepComm, cluster),
+        )
+        .unwrap()
+        .simulate_epoch();
+        assert!(
+            roc.epoch_seconds > nts_comm.epoch_seconds,
+            "roc {} vs depcomm {}",
+            roc.epoch_seconds,
+            nts_comm.epoch_seconds
+        );
+        assert!(roc.bytes_per_epoch > nts_comm.bytes_per_epoch);
+    }
+
+    #[test]
+    fn roc_like_scales_poorly() {
+        // ROC's whole-block transfers grow with cluster size; per-epoch
+        // time should improve far less than chunked DepComm when going
+        // from 4 to 8 workers.
+        let ds = by_name("pokec").unwrap().materialize(0.001, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 32, ds.num_classes, 1);
+        let time = |cfg: TrainerConfig| {
+            Trainer::prepare(&ds, &model, cfg).unwrap().simulate_epoch().epoch_seconds
+        };
+        let roc4 = time(roc_like_config(ClusterSpec::aliyun_ecs(4)));
+        let roc8 = time(roc_like_config(ClusterSpec::aliyun_ecs(8)));
+        let nts4 = time(TrainerConfig::new(
+            EngineKind::DepComm,
+            ClusterSpec::aliyun_ecs(4),
+        ));
+        let nts8 = time(TrainerConfig::new(
+            EngineKind::DepComm,
+            ClusterSpec::aliyun_ecs(8),
+        ));
+        let roc_speedup = roc4 / roc8;
+        let nts_speedup = nts4 / nts8;
+        assert!(
+            nts_speedup > roc_speedup,
+            "nts speedup {nts_speedup} should exceed roc speedup {roc_speedup}"
+        );
+    }
+}

@@ -1,0 +1,663 @@
+//! GNN layer implementations: GCN, GIN, GAT.
+//!
+//! Each layer's `forward` records one autograd tape segment over the
+//! decoupled flow of Fig. 6 and returns a [`LayerRun`]. The engine calls
+//! `LayerRun::backward` with the gradient of the layer's *output*
+//! (obtained from the next layer locally, and/or accumulated from remote
+//! mirrors via `PostToDepNbr`) and receives the gradient of the layer's
+//! *input* rows, which it routes back across workers. Parameter gradients
+//! accumulate into the id-indexed gradient vector for the all-reduce.
+
+use rand::rngs::StdRng;
+#[cfg(test)]
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use ns_tensor::nn::{Bindings, Init, Linear, Mlp, ParamId, ParamStore};
+use ns_tensor::{Tape, Tensor, Var};
+
+use crate::ops;
+use crate::topology::LayerTopology;
+
+/// The in-flight state of one layer's forward pass on one worker.
+pub struct LayerRun {
+    tape: Tape,
+    bindings: Bindings,
+    input: Var,
+    output: Var,
+    forward_flops: u64,
+}
+
+impl LayerRun {
+    /// The layer's output values (`n_dst x out_dim`).
+    pub fn output(&self) -> &Tensor {
+        self.tape.value(self.output)
+    }
+
+    /// FLOPs spent by the forward pass.
+    pub fn forward_flops(&self) -> u64 {
+        self.forward_flops
+    }
+
+    /// Runs the backward pass seeded with `output_grad`; accumulates
+    /// parameter gradients into `grads` (parallel to the store) and
+    /// returns `(input_gradient, backward_flops)`.
+    pub fn backward(mut self, output_grad: Tensor, grads: &mut [Tensor]) -> (Tensor, u64) {
+        let before = self.tape.flops();
+        self.tape.backward_from(self.output, output_grad);
+        let flops = self.tape.flops() - before;
+        self.bindings.collect_grads(&mut self.tape, grads);
+        let shape = self.tape.value(self.input).shape();
+        let input_grad = self
+            .tape
+            .take_grad(self.input)
+            .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
+        (input_grad, flops)
+    }
+}
+
+/// One GNN layer, in the paper's decoupled edge/vertex formulation.
+pub trait GnnLayer: Send + Sync {
+    /// Input representation width (`d^{(l-1)}` — also the width
+    /// communicated for this layer's dependencies).
+    fn in_dim(&self) -> usize;
+
+    /// Output representation width (`d^{(l)}`).
+    fn out_dim(&self) -> usize;
+
+    /// Records the forward pass over `topo` with input rows `h`
+    /// (`topo.n_src x in_dim`).
+    fn forward(&self, store: &ParamStore, topo: &LayerTopology, h: Tensor) -> LayerRun;
+
+    /// Analytic per-edge FLOP estimate (edge function + aggregation), used
+    /// by the cost model before any data exists.
+    fn edge_flops_estimate(&self) -> u64;
+
+    /// Analytic per-vertex FLOP estimate (vertex function), used by the
+    /// cost model before any data exists.
+    fn vertex_flops_estimate(&self) -> u64;
+
+    /// Width (floats per edge) of the per-edge tensors an optimized
+    /// backend must actually *materialize* in device memory for this
+    /// layer. Copy-style edge functions (GCN's weighted copy, GIN's copy)
+    /// fuse into an SpMM-like aggregation and keep nothing per edge
+    /// beyond the static weight; parameterized edge functions (GAT) hold
+    /// logits, attention coefficients and weighted messages.
+    fn edge_tensor_width(&self) -> usize;
+}
+
+fn start_run(h: Tensor) -> (Tape, Bindings, Var) {
+    let mut tape = Tape::new();
+    let bindings = Bindings::new();
+    let input = tape.leaf(h);
+    (tape, bindings, input)
+}
+
+fn finish_run(tape: Tape, bindings: Bindings, input: Var, output: Var) -> LayerRun {
+    let forward_flops = tape.flops();
+    LayerRun { tape, bindings, input, output, forward_flops }
+}
+
+/// Graph Convolutional Network layer (Kipf & Welling):
+/// `h' = σ(Σ_{u→v} w_uv · h_u · W + b)` with the pre-computed symmetric
+/// normalization `w_uv` as the (non-parameterized) edge function.
+pub struct GcnLayer {
+    lin: Linear,
+    activation: bool,
+}
+
+impl GcnLayer {
+    /// Registers a GCN layer's parameters. `activation` applies ReLU
+    /// (disabled on the output layer, whose logits feed the softmax head).
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self { lin: Linear::new(store, prefix, in_dim, out_dim, rng), activation }
+    }
+}
+
+impl GnnLayer for GcnLayer {
+    fn in_dim(&self) -> usize {
+        self.lin.in_features()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin.out_features()
+    }
+
+    fn forward(&self, store: &ParamStore, topo: &LayerTopology, h: Tensor) -> LayerRun {
+        assert_eq!(h.cols(), self.in_dim(), "gcn input width");
+        assert_eq!(h.rows(), topo.n_src, "gcn input rows");
+        let (mut tape, mut binds, input) = start_run(h);
+        // EdgeForward (weighted copy) fused with GatherByDst: the copy
+        // edge function needs no materialized edge tensor, so it runs as
+        // one SpMM — the fusion real GNN backends apply.
+        let agg = ops::aggregate_neighbors(&mut tape, input, topo, true);
+        // VertexForward: linear (+ ReLU).
+        let z = self.lin.forward(&mut tape, &mut binds, store, agg);
+        let out = if self.activation { tape.relu(z) } else { z };
+        finish_run(tape, binds, input, out)
+    }
+
+    fn edge_flops_estimate(&self) -> u64 {
+        // weighted copy + aggregation add, per input dimension.
+        2 * self.in_dim() as u64
+    }
+
+    fn vertex_flops_estimate(&self) -> u64 {
+        self.lin.forward_flops(1)
+    }
+
+    fn edge_tensor_width(&self) -> usize {
+        1 // only the static normalization weight
+    }
+}
+
+/// Graph Isomorphism Network layer (Xu et al.):
+/// `h' = MLP((1 + ε) · h_v + Σ_{u→v} h_u)` with a learnable scalar `ε`.
+pub struct GinLayer {
+    mlp: Mlp,
+    eps: ParamId,
+    in_dim: usize,
+    activation: bool,
+}
+
+impl GinLayer {
+    /// Registers a GIN layer: a 2-layer MLP `in → out → out` and ε.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mlp = Mlp::new(store, &format!("{prefix}.mlp"), &[in_dim, out_dim, out_dim], rng);
+        let eps = store.register(format!("{prefix}.eps"), Init::Zeros.tensor(1, 1, rng));
+        Self { mlp, eps, in_dim, activation }
+    }
+}
+
+impl GnnLayer for GinLayer {
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.mlp.out_features()
+    }
+
+    fn forward(&self, store: &ParamStore, topo: &LayerTopology, h: Tensor) -> LayerRun {
+        assert_eq!(h.cols(), self.in_dim(), "gin input width");
+        assert_eq!(h.rows(), topo.n_src, "gin input rows");
+        let (mut tape, mut binds, input) = start_run(h);
+        // EdgeForward (plain copy) fused with GatherByDst (SpMM).
+        let agg = ops::aggregate_neighbors(&mut tape, input, topo, false);
+        // VertexForward: (1+ε)h_v + agg, then the MLP.
+        let self_h = ops::gather_dst_self(&mut tape, input, topo);
+        let eps = binds.bind(&mut tape, store, self.eps);
+        let comb = tape.eps_combine(eps, self_h, agg);
+        let z = self.mlp.forward(&mut tape, &mut binds, store, comb);
+        let out = if self.activation { tape.relu(z) } else { z };
+        finish_run(tape, binds, input, out)
+    }
+
+    fn edge_flops_estimate(&self) -> u64 {
+        self.in_dim() as u64
+    }
+
+    fn vertex_flops_estimate(&self) -> u64 {
+        self.mlp.forward_flops(1) + 2 * self.in_dim() as u64
+    }
+
+    fn edge_tensor_width(&self) -> usize {
+        0 // plain copy, fully fused into the aggregation
+    }
+}
+
+/// Graph Attention Network layer (Veličković et al.), single head:
+/// attention logits `LeakyReLU(a_sᵀ W h_u + a_dᵀ W h_v)` per edge,
+/// softmax-normalized over each destination's in-edges, then an
+/// attention-weighted sum with ELU. The parameterized edge function
+/// exercises the `EdgeForward`/`EdgeBackward` path (which ROC lacks —
+/// the paper notes ROC cannot run GAT).
+pub struct GatLayer {
+    heads: Vec<GatHead>,
+    in_dim: usize,
+    head_dim: usize,
+    activation: bool,
+}
+
+/// One attention head's parameters.
+struct GatHead {
+    w: ParamId,
+    a_src: ParamId,
+    a_dst: ParamId,
+}
+
+impl GatHead {
+    fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        head_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.register(
+            format!("{prefix}.W"),
+            Init::XavierUniform.tensor(in_dim, head_dim, rng),
+        );
+        let a_src = store.register(
+            format!("{prefix}.a_src"),
+            Init::XavierUniform.tensor(head_dim, 1, rng),
+        );
+        let a_dst = store.register(
+            format!("{prefix}.a_dst"),
+            Init::XavierUniform.tensor(head_dim, 1, rng),
+        );
+        Self { w, a_src, a_dst }
+    }
+
+    /// One head's attention-weighted aggregation (`n_dst x head_dim`).
+    fn attend(
+        &self,
+        tape: &mut Tape,
+        binds: &mut Bindings,
+        store: &ParamStore,
+        input: Var,
+        topo: &LayerTopology,
+    ) -> Var {
+        let w = binds.bind(tape, store, self.w);
+        let a_s = binds.bind(tape, store, self.a_src);
+        let a_d = binds.bind(tape, store, self.a_dst);
+
+        let wh = tape.matmul(input, w);
+        // Per-vertex attention terms.
+        let s_src = tape.matmul(wh, a_s);
+        let wh_dst = tape.gather_rows(wh, Arc::clone(&topo.dst_in_rows));
+        let s_dst = tape.matmul(wh_dst, a_d);
+        // EdgeForward: logits from both endpoints.
+        let e_src = tape.gather_rows(s_src, Arc::clone(&topo.edge_src));
+        let e_dst = tape.gather_rows(s_dst, Arc::clone(&topo.edge_dst));
+        let sums = tape.add(e_src, e_dst);
+        let logits = tape.leaky_relu(sums, GatLayer::LEAKY_SLOPE);
+        // Per-destination softmax (all of a destination's in-edges are
+        // local to its worker, so this never crosses workers).
+        let alpha = tape.segment_softmax(logits, Arc::clone(&topo.dst_offsets));
+        // Attention-weighted aggregation.
+        let msgs = ops::scatter_to_edge_src(tape, wh, topo);
+        let weighted = tape.mul_col_broadcast(msgs, alpha);
+        ops::gather_by_dst(tape, weighted, topo)
+    }
+}
+
+impl GatLayer {
+    /// Leaky-ReLU negative slope used for attention logits.
+    pub const LEAKY_SLOPE: f32 = 0.2;
+
+    /// Registers a single-head GAT layer's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::multi_head(store, prefix, in_dim, out_dim, 1, activation, rng)
+    }
+
+    /// Registers a multi-head GAT layer; head outputs are concatenated,
+    /// so `out_dim = heads * head_dim` (the standard GAT construction).
+    pub fn multi_head(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        head_dim: usize,
+        heads: usize,
+        activation: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(heads >= 1, "need at least one attention head");
+        let heads = (0..heads)
+            .map(|h| GatHead::new(store, &format!("{prefix}.head{h}"), in_dim, head_dim, rng))
+            .collect();
+        Self { heads, in_dim, head_dim, activation }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+impl GnnLayer for GatLayer {
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.head_dim * self.heads.len()
+    }
+
+    fn forward(&self, store: &ParamStore, topo: &LayerTopology, h: Tensor) -> LayerRun {
+        assert_eq!(h.cols(), self.in_dim(), "gat input width");
+        assert_eq!(h.rows(), topo.n_src, "gat input rows");
+        let (mut tape, mut binds, input) = start_run(h);
+        let mut agg = self.heads[0].attend(&mut tape, &mut binds, store, input, topo);
+        for head in &self.heads[1..] {
+            let next = head.attend(&mut tape, &mut binds, store, input, topo);
+            agg = tape.concat_cols(agg, next);
+        }
+        let out = if self.activation { tape.elu(agg, 1.0) } else { agg };
+        finish_run(tape, binds, input, out)
+    }
+
+    fn edge_flops_estimate(&self) -> u64 {
+        // Per head: logit add + leaky relu + softmax + weighting +
+        // aggregation.
+        (self.heads.len() * (6 + 2 * self.head_dim)) as u64
+    }
+
+    fn vertex_flops_estimate(&self) -> u64 {
+        (self.heads.len() * (2 * self.in_dim * self.head_dim + 4 * self.head_dim)) as u64
+    }
+
+    fn edge_tensor_width(&self) -> usize {
+        // Per head: logits + attention coefficient + weighted messages.
+        self.heads.len() * (self.head_dim + 2)
+    }
+}
+
+/// GraphSAGE layer (Hamilton et al.): `h' = σ(W · [h_v ‖ AGG(h_u)])`
+/// with a mean or element-wise-max neighborhood aggregator — the
+/// aggregator family the paper's `GatherByDst` is defined over.
+pub struct SageLayer {
+    lin: Linear,
+    in_dim: usize,
+    aggregator: ops::Aggregator,
+    activation: bool,
+}
+
+impl SageLayer {
+    /// Registers a GraphSAGE layer. `aggregator` must be `Mean` or `Max`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        aggregator: ops::Aggregator,
+        activation: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(
+            matches!(aggregator, ops::Aggregator::Mean | ops::Aggregator::Max),
+            "GraphSAGE uses mean or max aggregation"
+        );
+        // Concatenation of self and neighborhood doubles the input width.
+        let lin = Linear::new(store, prefix, 2 * in_dim, out_dim, rng);
+        Self { lin, in_dim, aggregator, activation }
+    }
+
+    /// The configured aggregator.
+    pub fn aggregator(&self) -> ops::Aggregator {
+        self.aggregator
+    }
+}
+
+impl GnnLayer for SageLayer {
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin.out_features()
+    }
+
+    fn forward(&self, store: &ParamStore, topo: &LayerTopology, h: Tensor) -> LayerRun {
+        assert_eq!(h.cols(), self.in_dim(), "sage input width");
+        assert_eq!(h.rows(), topo.n_src, "sage input rows");
+        let (mut tape, mut binds, input) = start_run(h);
+        let agg = ops::aggregate_neighbors_with(&mut tape, input, topo, self.aggregator);
+        let self_h = ops::gather_dst_self(&mut tape, input, topo);
+        let cat = tape.concat_cols(self_h, agg);
+        let z = self.lin.forward(&mut tape, &mut binds, store, cat);
+        let out = if self.activation { tape.relu(z) } else { z };
+        finish_run(tape, binds, input, out)
+    }
+
+    fn edge_flops_estimate(&self) -> u64 {
+        self.in_dim as u64
+    }
+
+    fn vertex_flops_estimate(&self) -> u64 {
+        self.lin.forward_flops(1)
+    }
+
+    fn edge_tensor_width(&self) -> usize {
+        0 // mean/max both fuse into segmented kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> LayerTopology {
+        // 4 sources, 3 destinations; dst d's own row is d.
+        LayerTopology::from_adjacency(
+            4,
+            &[
+                vec![(0, 1.0), (3, 0.5)],
+                vec![(1, 1.0)],
+                vec![(0, 0.25), (1, 0.25), (2, 0.5)],
+            ],
+            vec![0, 1, 2],
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn input(rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect(),
+        )
+    }
+
+    fn numeric_input_grad(
+        layer: &dyn GnnLayer,
+        store: &ParamStore,
+        topo: &LayerTopology,
+        h: &Tensor,
+        coeff: &Tensor,
+    ) -> Tensor {
+        let f = |x: &Tensor| -> f32 {
+            layer.forward(store, topo, x.clone()).output().mul(coeff).sum()
+        };
+        let mut g = Tensor::zeros(h.rows(), h.cols());
+        let eps = 1e-3;
+        for i in 0..h.len() {
+            let mut p = h.clone();
+            p.data_mut()[i] += eps;
+            let mut m = h.clone();
+            m.data_mut()[i] -= eps;
+            g.data_mut()[i] = (f(&p) - f(&m)) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn check_layer_gradients(layer: &dyn GnnLayer, store: &ParamStore, tol: f32) {
+        let t = topo();
+        let h = input(4, layer.in_dim());
+        let run = layer.forward(store, &t, h.clone());
+        assert_eq!(run.output().shape(), (3, layer.out_dim()));
+        let coeff = input(3, layer.out_dim());
+        let mut grads = store.zero_grads();
+        let (input_grad, back_flops) = run.backward(coeff.clone(), &mut grads);
+        assert!(back_flops > 0);
+        let numeric = numeric_input_grad(layer, store, &t, &h, &coeff);
+        let diff = input_grad.max_abs_diff(&numeric);
+        assert!(diff < tol, "input grad mismatch: {diff}");
+        // At least one parameter must have received gradient.
+        assert!(grads.iter().any(|g| g.norm() > 0.0));
+    }
+
+    #[test]
+    fn gcn_forward_known_values() {
+        // Identity-ish check with hand-set weights: 1 input dim, 1 output.
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GcnLayer::new(&mut store, "l", 1, 1, false, &mut r);
+        let (wid, bid) = layer.lin.param_ids();
+        *store.value_mut(wid) = Tensor::scalar(2.0);
+        *store.value_mut(bid) = Tensor::scalar(1.0);
+        let t = topo();
+        let h = Tensor::from_vec(4, 1, vec![1., 2., 3., 4.]);
+        let run = layer.forward(&store, &t, h);
+        // dst0 = (1*1 + 4*0.5) * 2 + 1 = 7; dst1 = 2*2+1 = 5;
+        // dst2 = (0.25 + 0.5 + 1.5) * 2 + 1 = 5.5.
+        assert_eq!(run.output().data(), &[7., 5., 5.5]);
+    }
+
+    #[test]
+    fn gcn_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GcnLayer::new(&mut store, "gcn", 3, 2, true, &mut r);
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    fn gin_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GinLayer::new(&mut store, "gin", 3, 2, false, &mut r);
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    fn gat_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GatLayer::new(&mut store, "gat", 3, 2, true, &mut r);
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    fn gat_attention_rows_sum_to_one_effectively() {
+        // With W = I and uniform features, the output must equal Wh (the
+        // attention weights sum to 1 per destination).
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GatLayer::new(&mut store, "gat", 2, 2, false, &mut r);
+        *store.value_mut(layer.heads[0].w) = Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        let t = topo();
+        let h = Tensor::full(4, 2, 3.0);
+        let run = layer.forward(&store, &t, h);
+        for v in run.output().data() {
+            assert!((v - 3.0).abs() < 1e-5, "{v}");
+        }
+    }
+
+    #[test]
+    fn gin_eps_shifts_self_contribution() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GinLayer::new(&mut store, "gin", 2, 2, false, &mut r);
+        // Pin the MLP to a benign affine map (identity weights, large
+        // positive bias on the hidden layer) so no ReLU unit is dead and
+        // the ε shift must reach the output.
+        let eye = Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        for (i, lin) in layer.mlp.layers().iter().enumerate() {
+            let (w, b) = lin.param_ids();
+            *store.value_mut(w) = eye.clone();
+            *store.value_mut(b) = Tensor::full(1, 2, if i == 0 { 10.0 } else { 0.0 });
+        }
+        let t = topo();
+        let h = input(4, 2);
+        let base = layer.forward(&store, &t, h.clone()).output().clone();
+        *store.value_mut(layer.eps) = Tensor::scalar(1.0);
+        let shifted = layer.forward(&store, &t, h.clone()).output().clone();
+        // Difference is exactly ε · h_self pushed through the affine map.
+        let expected = h.gather_rows(&[0, 1, 2]);
+        assert!(base.max_abs_diff(&shifted) > 1e-4);
+        assert!(shifted.sub(&base).max_abs_diff(&expected) < 1e-5);
+    }
+
+    #[test]
+    fn flop_estimates_are_positive_and_scale_with_dims() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let small = GcnLayer::new(&mut store, "s", 8, 8, true, &mut r);
+        let large = GcnLayer::new(&mut store, "l", 64, 64, true, &mut r);
+        assert!(large.vertex_flops_estimate() > small.vertex_flops_estimate());
+        assert!(large.edge_flops_estimate() > small.edge_flops_estimate());
+    }
+
+    #[test]
+    fn sage_mean_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = SageLayer::new(
+            &mut store, "sage", 3, 2, crate::ops::Aggregator::Mean, true, &mut r,
+        );
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    fn sage_max_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = SageLayer::new(
+            &mut store, "sage", 3, 2, crate::ops::Aggregator::Max, false, &mut r,
+        );
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    fn multi_head_gat_concatenates_heads() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GatLayer::multi_head(&mut store, "gat", 3, 4, 3, true, &mut r);
+        assert_eq!(layer.num_heads(), 3);
+        assert_eq!(layer.out_dim(), 12);
+        let run = layer.forward(&store, &topo(), input(4, 3));
+        assert_eq!(run.output().shape(), (3, 12));
+    }
+
+    #[test]
+    fn multi_head_gat_gradients_match_numeric() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GatLayer::multi_head(&mut store, "gat", 3, 2, 2, true, &mut r);
+        check_layer_gradients(&layer, &store, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean or max")]
+    fn sage_rejects_sum_aggregator() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let _ = SageLayer::new(
+            &mut store, "sage", 3, 2, crate::ops::Aggregator::Sum, true, &mut r,
+        );
+    }
+
+    #[test]
+    fn forward_flops_recorded() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let layer = GcnLayer::new(&mut store, "g", 3, 2, true, &mut r);
+        let run = layer.forward(&store, &topo(), input(4, 3));
+        assert!(run.forward_flops() > 0);
+    }
+}

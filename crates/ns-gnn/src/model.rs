@@ -1,0 +1,181 @@
+//! Layer stacks with the paper's model configurations.
+//!
+//! All three evaluation models (GCN, GIN, GAT) are 2-layer in the paper
+//! (§5.1); the stack here is depth-generic. The parameter store returned
+//! by [`GnnModel::fresh_store`] is what each worker replicates — layers
+//! themselves are immutable and shared.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ns_tensor::nn::ParamStore;
+
+use crate::layers::{GatLayer, GcnLayer, GinLayer, GnnLayer, SageLayer};
+use crate::ops::Aggregator;
+
+/// Which GNN architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Graph Convolutional Network.
+    Gcn,
+    /// Graph Isomorphism Network.
+    Gin,
+    /// Graph Attention Network.
+    Gat,
+    /// GraphSAGE (mean aggregator).
+    Sage,
+}
+
+impl ModelKind {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gin => "GIN",
+            ModelKind::Gat => "GAT",
+            ModelKind::Sage => "GraphSAGE",
+        }
+    }
+}
+
+/// An immutable stack of GNN layers plus the initial parameter values.
+pub struct GnnModel {
+    kind: ModelKind,
+    layers: Vec<Box<dyn GnnLayer>>,
+    init_store: ParamStore,
+    dims: Vec<usize>,
+}
+
+impl GnnModel {
+    /// Builds a model with layer widths `dims = [in, hidden..., classes]`
+    /// (so `dims.len() - 1` layers). The final layer has no activation —
+    /// its output feeds the softmax prediction head. All randomness flows
+    /// from `seed`.
+    pub fn new(kind: ModelKind, dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers: Vec<Box<dyn GnnLayer>> = Vec::with_capacity(dims.len() - 1);
+        for (l, w) in dims.windows(2).enumerate() {
+            let act = l + 2 < dims.len();
+            let prefix = format!("layer{l}");
+            let layer: Box<dyn GnnLayer> = match kind {
+                ModelKind::Gcn => {
+                    Box::new(GcnLayer::new(&mut store, &prefix, w[0], w[1], act, &mut rng))
+                }
+                ModelKind::Gin => {
+                    Box::new(GinLayer::new(&mut store, &prefix, w[0], w[1], act, &mut rng))
+                }
+                ModelKind::Gat => {
+                    Box::new(GatLayer::new(&mut store, &prefix, w[0], w[1], act, &mut rng))
+                }
+                ModelKind::Sage => Box::new(SageLayer::new(
+                    &mut store, &prefix, w[0], w[1], Aggregator::Mean, act, &mut rng,
+                )),
+            };
+            layers.push(layer);
+        }
+        Self { kind, layers, init_store: store, dims: dims.to_vec() }
+    }
+
+    /// Convenience: a 2-layer model `in → hidden → classes`.
+    pub fn two_layer(
+        kind: ModelKind,
+        in_dim: usize,
+        hidden: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        Self::new(kind, &[in_dim, hidden, classes], seed)
+    }
+
+    /// The architecture.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of layers (`L`).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer `l` (0-based; the paper's layer `l+1`).
+    pub fn layer(&self, l: usize) -> &dyn GnnLayer {
+        self.layers[l].as_ref()
+    }
+
+    /// Layer widths `[in, hidden..., classes]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// A fresh replica of the initial parameters (identical on every
+    /// call — workers start in sync and stay in sync via all-reduce).
+    pub fn fresh_store(&self) -> ParamStore {
+        self.init_store.clone()
+    }
+
+    /// Bytes a full parameter-gradient all-reduce moves per worker.
+    pub fn gradient_bytes(&self) -> u64 {
+        self.init_store.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LayerTopology;
+    use ns_tensor::Tensor;
+
+    #[test]
+    fn two_layer_shapes() {
+        for kind in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+            let m = GnnModel::two_layer(kind, 8, 4, 3, 1);
+            assert_eq!(m.num_layers(), 2);
+            assert_eq!(m.layer(0).in_dim(), 8);
+            assert_eq!(m.layer(0).out_dim(), 4);
+            assert_eq!(m.layer(1).in_dim(), 4);
+            assert_eq!(m.layer(1).out_dim(), 3);
+            assert!(m.gradient_bytes() > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn fresh_stores_are_identical() {
+        let m = GnnModel::two_layer(ModelKind::Gcn, 4, 4, 2, 7);
+        let s1 = m.fresh_store();
+        let s2 = m.fresh_store();
+        for ((_, _, v1), (_, _, v2)) in s1.iter().zip(s2.iter()) {
+            assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = GnnModel::two_layer(ModelKind::Gat, 4, 4, 2, 7);
+        let b = GnnModel::two_layer(ModelKind::Gat, 4, 4, 2, 7);
+        let sa = a.fresh_store();
+        let sb = b.fresh_store();
+        for ((_, _, v1), (_, _, v2)) in sa.iter().zip(sb.iter()) {
+            assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    #[test]
+    fn deep_stack_builds_and_runs() {
+        let m = GnnModel::new(ModelKind::Gcn, &[3, 5, 4, 2], 3);
+        assert_eq!(m.num_layers(), 3);
+        let topo = LayerTopology::from_adjacency(
+            2,
+            &[vec![(0, 1.0)], vec![(0, 0.5), (1, 0.5)]],
+            vec![0, 1],
+        );
+        let store = m.fresh_store();
+        let mut h = Tensor::full(2, 3, 1.0);
+        for l in 0..m.num_layers() {
+            let run = m.layer(l).forward(&store, &topo, h);
+            h = run.output().clone();
+        }
+        assert_eq!(h.shape(), (2, 2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text edge-list I/O.
+//!
+//! The interchange format every graph-systems paper's artifact uses: one
+//! `src dst` pair per line, `#`-prefixed comment lines ignored. Lets the
+//! reproduction exchange graphs with external tools (SNAP dumps,
+//! partitioner inputs) and persist generated instances.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Writes `graph` as an edge list, one `src dst` pair per line, preceded
+/// by a comment header with the vertex count (self-loops added by the
+/// builder are skipped, since loading re-adds them when requested).
+pub fn write_edge_list(graph: &CsrGraph, w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# neutronstar edge list")?;
+    writeln!(w, "# vertices {}", graph.num_vertices())?;
+    for (src, dst, _) in graph.edges() {
+        if src != dst {
+            writeln!(w, "{src} {dst}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an edge list. Returns `(num_vertices, edges)`; the vertex count
+/// is taken from a `# vertices N` header when present, otherwise inferred
+/// as `max id + 1`. Malformed lines produce an error naming the line.
+pub fn read_edge_list(r: &mut dyn Read) -> io::Result<(usize, Vec<(VertexId, VertexId)>)> {
+    let reader = BufReader::new(r);
+    let mut edges = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("vertices") {
+                if let Some(Ok(n)) = parts.next().map(str::parse::<usize>) {
+                    declared_n = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+            tok.and_then(|t| t.parse::<VertexId>().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge at line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or((max_id + 1) as usize);
+    if edges.iter().any(|&(u, v)| (u as usize) >= n || (v as usize) >= n) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "edge endpoint exceeds declared vertex count",
+        ));
+    }
+    Ok((n, edges))
+}
+
+/// Convenience: loads an edge list straight into a [`CsrGraph`].
+pub fn read_graph(r: &mut dyn Read, self_loops: bool) -> io::Result<CsrGraph> {
+    let (n, edges) = read_edge_list(r)?;
+    Ok(CsrGraph::from_edges(n, &edges, self_loops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::rmat;
+
+    #[test]
+    fn roundtrip_preserves_topology() {
+        let edges = rmat(200, 1200, (0.57, 0.19, 0.19), 3);
+        let g = CsrGraph::from_edges(200, &edges, true);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_graph(&mut buf.as_slice(), true).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..200u32 {
+            assert_eq!(g2.in_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn header_declares_isolated_vertices() {
+        let text = "# vertices 10\n0 1\n1 2\n";
+        let (n, edges) = read_edge_list(&mut text.as_bytes()).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn vertex_count_inferred_without_header() {
+        let text = "0 5\n3 2\n";
+        let (n, _) = read_edge_list(&mut text.as_bytes()).unwrap();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(&mut text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        let text = "# vertices 3\n0 7\n";
+        assert!(read_edge_list(&mut text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\n0 1\n\n# world\n1 0\n";
+        let (_, edges) = read_edge_list(&mut text.as_bytes()).unwrap();
+        assert_eq!(edges.len(), 2);
+    }
+}

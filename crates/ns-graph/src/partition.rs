@@ -1,0 +1,377 @@
+//! Graph partitioners.
+//!
+//! NeutronStar's dependency partitioning is deliberately decoupled from
+//! graph partitioning (§3, "Graph Partitioning"); the paper uses
+//! chunk-based partitioning by default and demonstrates orthogonality with
+//! METIS and Fennel in §5.7. This module provides all three, behind one
+//! [`Partitioner`] enum, plus cut-quality statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Which worker owns each vertex.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    owner: Vec<u16>,
+    parts: usize,
+}
+
+impl Partitioning {
+    /// Wraps an owner array. Panics if any owner id is out of range.
+    pub fn new(owner: Vec<u16>, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        assert!(
+            owner.iter().all(|&o| (o as usize) < parts),
+            "owner id out of range"
+        );
+        Self { owner, parts }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The worker that owns vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// Vertices owned by `part`, ascending.
+    pub fn part_vertices(&self, part: usize) -> Vec<VertexId> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o as usize == part)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Sizes of all partitions.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &o in &self.owner {
+            sizes[o as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of edges whose endpoints live on different workers.
+    pub fn edge_cut(&self, graph: &CsrGraph) -> usize {
+        graph
+            .edges()
+            .filter(|&(u, v, _)| self.owner(u) != self.owner(v))
+            .count()
+    }
+
+    /// Fraction of edges cut.
+    pub fn cut_fraction(&self, graph: &CsrGraph) -> f64 {
+        if graph.num_edges() == 0 {
+            return 0.0;
+        }
+        self.edge_cut(graph) as f64 / graph.num_edges() as f64
+    }
+
+    /// For each partition, the number of *distinct remote* in-neighbors of
+    /// its vertices — the per-layer dependency set size `|D_i|` that both
+    /// DepComm traffic and DepCache replication scale with.
+    pub fn remote_dependency_counts(&self, graph: &CsrGraph) -> Vec<usize> {
+        let mut sets: Vec<FxHashSet<VertexId>> = vec![FxHashSet::default(); self.parts];
+        for v in 0..graph.num_vertices() as VertexId {
+            let p = self.owner(v);
+            for &u in graph.in_neighbors(v) {
+                if self.owner(u) != p {
+                    sets[p].insert(u);
+                }
+            }
+        }
+        sets.into_iter().map(|s| s.len()).collect()
+    }
+
+    /// Load imbalance: `max_part_size / ideal_size`.
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let ideal = self.owner.len() as f64 / self.parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+/// The partitioning algorithms available to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Contiguous vertex-id ranges balanced by in-edge count (the
+    /// chunk-based scheme of Gemini that the paper adopts by default).
+    Chunk,
+    /// Greedy BFS-grown balanced parts with boundary refinement — a
+    /// lightweight stand-in for METIS's multilevel edge-cut minimizer.
+    MetisLike,
+    /// Fennel streaming partitioning (Tsourakakis et al., WSDM'14).
+    Fennel,
+}
+
+impl Partitioner {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioner::Chunk => "chunk",
+            Partitioner::MetisLike => "metis-like",
+            Partitioner::Fennel => "fennel",
+        }
+    }
+
+    /// Partitions `graph` into `parts` pieces.
+    pub fn partition(self, graph: &CsrGraph, parts: usize) -> Partitioning {
+        assert!(parts >= 1, "need at least one partition");
+        assert!(parts <= u16::MAX as usize, "too many partitions");
+        match self {
+            Partitioner::Chunk => chunk(graph, parts),
+            Partitioner::MetisLike => metis_like(graph, parts),
+            Partitioner::Fennel => fennel(graph, parts),
+        }
+    }
+}
+
+/// Contiguous ranges with balanced `vertices + in-edges` weight, the
+/// chunk-based partitioning of Gemini/NeutronStar: cache-friendly, keeps
+/// natural locality of ordered graphs, and balances compute load.
+fn chunk(graph: &CsrGraph, parts: usize) -> Partitioning {
+    let n = graph.num_vertices();
+    let total_weight: usize = n + graph.num_edges();
+    let target = total_weight.div_ceil(parts);
+    let mut owner = vec![0u16; n];
+    let mut part = 0usize;
+    let mut acc = 0usize;
+    for v in 0..n {
+        if acc >= target && part + 1 < parts {
+            part += 1;
+            acc = 0;
+        }
+        owner[v] = part as u16;
+        acc += 1 + graph.in_degree(v as VertexId);
+    }
+    Partitioning::new(owner, parts)
+}
+
+/// Greedy graph growing + refinement: seeds one BFS per part round-robin,
+/// then runs boundary-refinement sweeps moving vertices to the part where
+/// most of their neighbors live, subject to a balance cap. This emulates
+/// the edge-cut quality ordering of METIS without the multilevel machinery.
+fn metis_like(graph: &CsrGraph, parts: usize) -> Partitioning {
+    let n = graph.num_vertices();
+    let mut owner: Vec<i32> = vec![-1; n];
+    let cap = (n as f64 / parts as f64 * 1.05).ceil() as usize;
+    let mut sizes = vec![0usize; parts];
+    let mut queues: Vec<std::collections::VecDeque<VertexId>> =
+        (0..parts).map(|_| std::collections::VecDeque::new()).collect();
+    let mut rng = StdRng::seed_from_u64(0x6e75);
+    for q in queues.iter_mut() {
+        q.push_back(rng.random_range(0..n) as VertexId);
+    }
+    let mut assigned = 0usize;
+    let mut scan = 0usize;
+    while assigned < n {
+        let mut progressed = false;
+        for p in 0..parts {
+            if sizes[p] >= cap {
+                continue;
+            }
+            while let Some(v) = queues[p].pop_front() {
+                if owner[v as usize] >= 0 {
+                    continue;
+                }
+                owner[v as usize] = p as i32;
+                sizes[p] += 1;
+                assigned += 1;
+                progressed = true;
+                for &u in graph.in_neighbors(v).iter().chain(graph.out_neighbors(v)) {
+                    if owner[u as usize] < 0 {
+                        queues[p].push_back(u);
+                    }
+                }
+                break;
+            }
+        }
+        if !progressed {
+            // All queues exhausted (disconnected remainder): reseed the
+            // smallest part with the next unassigned vertex.
+            while scan < n && owner[scan] >= 0 {
+                scan += 1;
+            }
+            if scan >= n {
+                break;
+            }
+            let p = (0..parts).min_by_key(|&p| sizes[p]).unwrap();
+            queues[p].push_back(scan as VertexId);
+        }
+    }
+    // Refinement sweeps.
+    for _ in 0..2 {
+        for v in 0..n as VertexId {
+            let cur = owner[v as usize] as usize;
+            let mut counts = vec![0usize; parts];
+            for &u in graph.in_neighbors(v).iter().chain(graph.out_neighbors(v)) {
+                counts[owner[u as usize] as usize] += 1;
+            }
+            if let Some(best) = (0..parts).max_by_key(|&p| counts[p]) {
+                if best != cur && counts[best] > counts[cur] && sizes[best] < cap {
+                    sizes[cur] -= 1;
+                    sizes[best] += 1;
+                    owner[v as usize] = best as i32;
+                }
+            }
+        }
+    }
+    Partitioning::new(owner.into_iter().map(|o| o as u16).collect(), parts)
+}
+
+/// Fennel streaming partitioning with the standard parameters γ = 1.5,
+/// α = m·k^(γ-1)/n^γ, and balance slack ν = 1.1.
+fn fennel(graph: &CsrGraph, parts: usize) -> Partitioning {
+    let n = graph.num_vertices();
+    let m = graph.num_edges().max(1);
+    let gamma = 1.5f64;
+    let alpha = m as f64 * (parts as f64).powf(gamma - 1.0) / (n as f64).powf(gamma);
+    let cap = (n as f64 / parts as f64 * 1.1).ceil() as usize;
+    let mut owner = vec![0u16; n];
+    let mut assigned = vec![false; n];
+    let mut sizes = vec![0usize; parts];
+    for v in 0..n as VertexId {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..parts {
+            if sizes[p] >= cap {
+                continue;
+            }
+            let mut local = 0usize;
+            for &u in graph.in_neighbors(v).iter().chain(graph.out_neighbors(v)) {
+                if assigned[u as usize] && owner[u as usize] as usize == p {
+                    local += 1;
+                }
+            }
+            let penalty = alpha * gamma * (sizes[p] as f64).powf(gamma - 1.0);
+            let score = local as f64 - penalty;
+            if score > best_score {
+                best_score = score;
+                best = p;
+            }
+        }
+        owner[v as usize] = best as u16;
+        assigned[v as usize] = true;
+        sizes[best] += 1;
+    }
+    Partitioning::new(owner, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::rmat;
+
+    fn test_graph() -> CsrGraph {
+        let edges = rmat(2000, 12_000, (0.57, 0.19, 0.19), 11);
+        CsrGraph::from_edges(2000, &edges, true)
+    }
+
+    #[test]
+    fn all_partitioners_cover_all_vertices() {
+        let g = test_graph();
+        for p in [Partitioner::Chunk, Partitioner::MetisLike, Partitioner::Fennel] {
+            let part = p.partition(&g, 4);
+            assert_eq!(part.num_parts(), 4);
+            assert_eq!(part.part_sizes().iter().sum::<usize>(), 2000);
+            let mut all: Vec<u32> = (0..4).flat_map(|i| part.part_vertices(i)).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..2000u32).collect::<Vec<_>>(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn chunk_is_contiguous_and_edge_balanced() {
+        let g = test_graph();
+        let part = Partitioner::Chunk.partition(&g, 4);
+        // Contiguity: owner array is non-decreasing.
+        let owners: Vec<usize> = (0..2000u32).map(|v| part.owner(v)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        // Edge balance within 2x of ideal.
+        let mut edge_loads = vec![0usize; 4];
+        for v in 0..2000u32 {
+            edge_loads[part.owner(v)] += g.in_degree(v);
+        }
+        let ideal = g.num_edges() / 4;
+        for load in edge_loads {
+            assert!(load < 2 * ideal + 2000, "edge load {load} vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn metis_like_cuts_fewer_edges_than_chunk_on_random_ids() {
+        // Shuffle vertex ids so chunk has no locality to exploit.
+        let edges = rmat(1500, 9000, (0.45, 0.22, 0.22), 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut perm: Vec<u32> = (0..1500).collect();
+        for i in (1..perm.len()).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        let g = CsrGraph::from_edges(1500, &shuffled, true);
+        let chunk_cut = Partitioner::Chunk.partition(&g, 4).cut_fraction(&g);
+        let metis_cut = Partitioner::MetisLike.partition(&g, 4).cut_fraction(&g);
+        assert!(
+            metis_cut < chunk_cut,
+            "metis-like {metis_cut} should beat chunk {chunk_cut}"
+        );
+    }
+
+    #[test]
+    fn fennel_respects_balance_slack() {
+        let g = test_graph();
+        let part = Partitioner::Fennel.partition(&g, 4);
+        assert!(part.imbalance() <= 1.15, "imbalance {}", part.imbalance());
+    }
+
+    #[test]
+    fn remote_dependency_counts_are_consistent_with_cut() {
+        let g = test_graph();
+        let part = Partitioner::Chunk.partition(&g, 4);
+        let deps = part.remote_dependency_counts(&g);
+        let cut = part.edge_cut(&g);
+        // Distinct remote sources never exceed cut edges.
+        assert!(deps.iter().sum::<usize>() <= cut);
+        if cut > 0 {
+            assert!(deps.iter().sum::<usize>() > 0);
+        }
+    }
+
+    #[test]
+    fn single_partition_owns_everything() {
+        let g = test_graph();
+        let part = Partitioner::Chunk.partition(&g, 1);
+        assert_eq!(part.edge_cut(&g), 0);
+        assert_eq!(part.part_sizes(), vec![2000]);
+        assert_eq!(part.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner id out of range")]
+    fn partitioning_validates_owner_range() {
+        Partitioning::new(vec![0, 3], 2);
+    }
+}

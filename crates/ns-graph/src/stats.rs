@@ -1,0 +1,154 @@
+//! Graph and partitioning statistics: the diagnostics that explain *why*
+//! a graph lands on one side of the DepCache/DepComm trade-off.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::khop::khop_in_closure;
+use crate::partition::Partitioning;
+
+/// Degree-distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum in-degree.
+    pub min: usize,
+    /// Maximum in-degree.
+    pub max: usize,
+    /// Mean in-degree.
+    pub mean: f64,
+    /// Median in-degree.
+    pub median: usize,
+    /// 99th-percentile in-degree.
+    pub p99: usize,
+    /// Skew indicator: `max / mean` (≫1 for power-law graphs).
+    pub hub_ratio: f64,
+}
+
+/// Computes the in-degree distribution summary.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    assert!(n > 0, "empty graph");
+    let mut degs: Vec<usize> = (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
+    degs.sort_unstable();
+    let mean = graph.avg_degree();
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean,
+        median: degs[n / 2],
+        p99: degs[((n - 1) as f64 * 0.99) as usize],
+        hub_ratio: if mean > 0.0 { degs[n - 1] as f64 / mean } else { 0.0 },
+    }
+}
+
+/// Per-partition replication statistics for a k-hop workload — the
+/// quantity DepCache's redundant computation scales with.
+#[derive(Debug, Clone)]
+pub struct ReplicationStats {
+    /// For each partition: distinct vertices in its k-hop closure.
+    pub closure_sizes: Vec<usize>,
+    /// For each partition: owned vertices.
+    pub owned_sizes: Vec<usize>,
+    /// Mean replication factor: Σ closure / |V| (1.0 = no replication).
+    pub replication_factor: f64,
+}
+
+/// Measures k-hop closure replication under a partitioning.
+pub fn replication_stats(
+    graph: &CsrGraph,
+    part: &Partitioning,
+    hops: usize,
+) -> ReplicationStats {
+    let mut closure_sizes = Vec::with_capacity(part.num_parts());
+    let mut owned_sizes = Vec::with_capacity(part.num_parts());
+    for p in 0..part.num_parts() {
+        let owned = part.part_vertices(p);
+        let closure = khop_in_closure(graph, &owned, hops);
+        closure_sizes.push(closure.all_vertices().len());
+        owned_sizes.push(owned.len());
+    }
+    let total: usize = closure_sizes.iter().sum();
+    ReplicationStats {
+        replication_factor: total as f64 / graph.num_vertices().max(1) as f64,
+        closure_sizes,
+        owned_sizes,
+    }
+}
+
+/// The boundary profile of a partitioning: how much of each partition's
+/// dependency set is remote — what DepComm's traffic scales with.
+#[derive(Debug, Clone)]
+pub struct BoundaryStats {
+    /// Edge-cut fraction.
+    pub cut_fraction: f64,
+    /// Distinct remote in-neighbors per partition.
+    pub remote_deps: Vec<usize>,
+    /// Mean remote dependencies per owned vertex.
+    pub deps_per_vertex: f64,
+}
+
+/// Computes boundary statistics.
+pub fn boundary_stats(graph: &CsrGraph, part: &Partitioning) -> BoundaryStats {
+    let remote_deps = part.remote_dependency_counts(graph);
+    let total: usize = remote_deps.iter().sum();
+    BoundaryStats {
+        cut_fraction: part.cut_fraction(graph),
+        deps_per_vertex: total as f64 / graph.num_vertices().max(1) as f64,
+        remote_deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, rmat};
+    use crate::partition::Partitioner;
+
+    fn power_law() -> CsrGraph {
+        CsrGraph::from_edges(1000, &rmat(1000, 8000, (0.57, 0.19, 0.19), 7), true)
+    }
+
+    fn flat() -> CsrGraph {
+        CsrGraph::from_edges(1000, &erdos_renyi(1000, 8000, 7), true)
+    }
+
+    #[test]
+    fn degree_stats_detect_skew() {
+        let p = degree_stats(&power_law());
+        let f = degree_stats(&flat());
+        assert!(p.hub_ratio > 2.0 * f.hub_ratio, "{} vs {}", p.hub_ratio, f.hub_ratio);
+        assert!(p.max >= p.p99 && p.p99 >= p.median && p.median >= p.min);
+        assert!((p.mean - power_law().avg_degree()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_grows_with_hops() {
+        let g = power_law();
+        let part = Partitioner::Chunk.partition(&g, 4);
+        let r1 = replication_stats(&g, &part, 1);
+        let r2 = replication_stats(&g, &part, 2);
+        assert!(r2.replication_factor >= r1.replication_factor);
+        assert!(r1.replication_factor >= 1.0);
+        for (c, o) in r1.closure_sizes.iter().zip(r1.owned_sizes.iter()) {
+            assert!(c >= o);
+        }
+    }
+
+    #[test]
+    fn single_partition_has_no_boundary_and_no_replication() {
+        let g = flat();
+        let part = Partitioner::Chunk.partition(&g, 1);
+        let b = boundary_stats(&g, &part);
+        assert_eq!(b.cut_fraction, 0.0);
+        assert_eq!(b.remote_deps, vec![0]);
+        let r = replication_stats(&g, &part, 2);
+        assert!((r.replication_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_stats_are_positive_on_cut_graphs() {
+        let g = power_law();
+        let part = Partitioner::Chunk.partition(&g, 8);
+        let b = boundary_stats(&g, &part);
+        assert!(b.cut_fraction > 0.0);
+        assert!(b.deps_per_vertex > 0.0);
+    }
+}

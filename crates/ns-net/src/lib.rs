@@ -1,0 +1,31 @@
+//! Cluster fabric and discrete-event cluster simulation.
+//!
+//! The NeutronStar reproduction runs its distributed training for real —
+//! one OS thread per worker, tensors moving over [`fabric`] channels — but
+//! the *time* an epoch would take on a target cluster (Aliyun ECS with T4
+//! GPUs over 6 Gbps Ethernet, or the paper's 100 Gbps InfiniBand V100
+//! cluster) is obtained by replaying the epoch's task DAG through the
+//! [`sim`] event simulator. The engines in `ns-runtime` emit one
+//! [`sim::TaskGraph`] per epoch: compute tasks weighted in FLOPs and
+//! messages weighted in bytes, with dependency edges that encode the
+//! paper's ring scheduling and communication/computation overlap.
+//!
+//! Module map:
+//!
+//! * [`cluster`] — device/NIC models and named cluster presets.
+//! * [`sim`] — the task graph and the event-driven scheduler; produces
+//!   makespan plus per-resource busy timelines (the utilization traces of
+//!   the paper's Fig. 13).
+//! * [`fabric`] — real crossbeam-channel mesh carrying tensor rows,
+//!   gradient chunks, and all-reduce payloads between worker threads.
+//! * [`buffer`] — the lock-free position-indexed message buffer of §4.3,
+//!   plus a mutex-guarded variant used as the ablation baseline.
+
+pub mod buffer;
+pub mod cluster;
+pub mod fabric;
+pub mod sim;
+
+pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
+pub use fabric::{Endpoint, Fabric, Message, MessageKind};
+pub use sim::{SimReport, TaskGraph, TaskId};

@@ -1,0 +1,55 @@
+//! Runtime error type.
+
+/// Errors surfaced by planning or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The projected per-worker device working set exceeds device memory
+    /// at the dataset's full (paper) scale. This is the condition under
+    /// which the paper reports "OOM" cells for DepCache / ROC / PyG.
+    DeviceOom {
+        /// Engine or system that overflowed.
+        what: String,
+        /// Projected bytes needed on the worst worker.
+        needed_bytes: u64,
+        /// Device capacity.
+        limit_bytes: u64,
+    },
+    /// Inconsistent configuration (e.g. zero workers, dims mismatch).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DeviceOom { what, needed_bytes, limit_bytes } => write!(
+                f,
+                "{what}: out of device memory ({:.2} GiB needed, {:.2} GiB available)",
+                *needed_bytes as f64 / (1u64 << 30) as f64,
+                *limit_bytes as f64 / (1u64 << 30) as f64,
+            ),
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_gib() {
+        let e = RuntimeError::DeviceOom {
+            what: "DepCache".into(),
+            needed_bytes: 32 * (1 << 30),
+            limit_bytes: 16 * (1 << 30),
+        };
+        let s = e.to_string();
+        assert!(s.contains("32.00 GiB"), "{s}");
+        assert!(s.contains("16.00 GiB"), "{s}");
+    }
+}

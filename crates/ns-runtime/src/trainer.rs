@@ -1,0 +1,470 @@
+//! High-level training entry point combining planning, simulation, and
+//! real execution.
+
+use ns_gnn::GnnModel;
+use ns_graph::{Dataset, Partitioner};
+use ns_net::sim::{simulate, ResourceKind, SimReport};
+use ns_net::{ClusterSpec, ExecOptions};
+
+use crate::cost::{probe, CostFactors};
+use crate::error::{Result, RuntimeError};
+use crate::exec::{train_epochs, ExecConfig, OptimizerKind, SyncMode};
+use crate::hybrid::{partition_dependencies, HybridConfig, HybridInfo};
+use crate::memory::check_device_fit;
+use crate::plan::{build_plans, DepDecision, WorkerPlan};
+use crate::taskgraph::{build_epoch_task_graph, TgConfig};
+
+/// Which dependency-management engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Algorithm 2: cache all dependencies.
+    DepCache,
+    /// Algorithm 3: communicate all dependencies.
+    DepComm,
+    /// Algorithm 4: cost-based mix.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::DepCache => "DepCache",
+            EngineKind::DepComm => "DepComm",
+            EngineKind::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// Full trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Dependency engine.
+    pub engine: EngineKind,
+    /// Graph partitioner.
+    pub partitioner: Partitioner,
+    /// Modeled cluster.
+    pub cluster: ClusterSpec,
+    /// System-optimization toggles (ring / lock-free / overlap).
+    pub opts: ExecOptions,
+    /// Learning rate.
+    pub lr: f32,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Hybrid-engine knobs.
+    pub hybrid: HybridConfig,
+    /// ROC-like whole-partition broadcast (used by the baselines crate).
+    pub broadcast_full_partition: bool,
+    /// Gradient synchronization strategy.
+    pub sync: SyncMode,
+    /// Enforce the projected device-memory check (on by default; the
+    /// engine-equivalence tests disable it to run any engine anywhere).
+    pub enforce_memory: bool,
+}
+
+impl TrainerConfig {
+    /// A sensible default configuration for `engine` on `cluster`.
+    pub fn new(engine: EngineKind, cluster: ClusterSpec) -> Self {
+        Self {
+            engine,
+            partitioner: Partitioner::Chunk,
+            cluster,
+            opts: ExecOptions::all(),
+            lr: 0.01,
+            optimizer: OptimizerKind::Adam,
+            hybrid: HybridConfig::default(),
+            broadcast_full_partition: false,
+            sync: SyncMode::AllReduce,
+            enforce_memory: true,
+        }
+    }
+}
+
+/// Per-epoch numeric results.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Cluster-wide mean training loss.
+    pub loss: f64,
+    /// Training accuracy.
+    pub train_acc: f64,
+    /// Validation accuracy.
+    pub val_acc: f64,
+    /// Test accuracy.
+    pub test_acc: f64,
+    /// Wall-clock seconds of the slowest worker (this machine).
+    pub wall_s: f64,
+}
+
+/// Simulated timing of one epoch on the modeled cluster. Identical for
+/// every epoch (GNN training repeats the same dependency pattern), so it
+/// is computed once.
+#[derive(Debug, Clone)]
+pub struct SimSummary {
+    /// Seconds per epoch on the modeled cluster.
+    pub epoch_seconds: f64,
+    /// Bytes moved per epoch (dependencies + gradients + all-reduce).
+    pub bytes_per_epoch: u64,
+    /// Compute FLOPs per epoch.
+    pub flops_per_epoch: u64,
+    /// Mean device (GPU) utilization over the epoch.
+    pub device_utilization: f64,
+    /// Mean egress-NIC utilization over the epoch.
+    pub nic_utilization: f64,
+    /// The full event-level report (busy intervals, ingress events) for
+    /// utilization plots.
+    pub report: SimReport,
+}
+
+/// Plan-level statistics.
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// Replica compute slots across workers (redundant computation).
+    pub replica_slots: usize,
+    /// Features prefetched beyond owned partitions.
+    pub prefetched_features: usize,
+    /// Dependency rows communicated per epoch (forward direction).
+    pub comm_rows_per_epoch: usize,
+    /// Hybrid partitioning statistics when the Hybrid engine ran.
+    pub hybrid: Option<HybridInfo>,
+}
+
+/// Everything a training run produces.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Engine that ran.
+    pub engine: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Per-epoch numeric results.
+    pub epochs: Vec<EpochStats>,
+    /// Simulated per-epoch timing.
+    pub sim: SimSummary,
+    /// Plan statistics.
+    pub plan: PlanSummary,
+    /// Trained parameters (identical on every worker after the final
+    /// synchronized step). Checkpoint with `ns_tensor::checkpoint::save`.
+    pub final_params: ns_tensor::ParamStore,
+}
+
+impl TrainingReport {
+    /// Simulated seconds to run `n` epochs.
+    pub fn simulated_seconds(&self, n: usize) -> f64 {
+        self.sim.epoch_seconds * n as f64
+    }
+
+    /// Final test accuracy.
+    pub fn final_test_acc(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |e| e.test_acc)
+    }
+
+    /// Final loss.
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map_or(f64::NAN, |e| e.loss)
+    }
+}
+
+/// The distributed trainer: plans once, simulates once, then trains for
+/// real.
+pub struct Trainer<'a> {
+    dataset: &'a Dataset,
+    model: &'a GnnModel,
+    cfg: TrainerConfig,
+    plans: Vec<WorkerPlan>,
+    costs: CostFactors,
+    hybrid_info: Option<HybridInfo>,
+}
+
+impl<'a> Trainer<'a> {
+    /// Plans the run: partitions the graph, resolves the dependency
+    /// decision for the chosen engine, validates memory, and probes cost
+    /// factors. Returns `DeviceOom` when the engine cannot fit the
+    /// dataset at paper scale (e.g. DepCache on dense graphs).
+    pub fn prepare(
+        dataset: &'a Dataset,
+        model: &'a GnnModel,
+        cfg: TrainerConfig,
+    ) -> Result<Self> {
+        if cfg.cluster.workers == 0 {
+            return Err(RuntimeError::InvalidConfig("zero workers".into()));
+        }
+        let part = cfg.partitioner.partition(&dataset.graph, cfg.cluster.workers);
+        let costs = probe(model, &cfg.cluster);
+        let (decision, hybrid_info) = match cfg.engine {
+            EngineKind::DepCache => (DepDecision::CacheAll, None),
+            EngineKind::DepComm => (DepDecision::CommAll, None),
+            EngineKind::Hybrid => {
+                let budget = if cfg.enforce_memory {
+                    cfg.hybrid.memory_budget_bytes.unwrap_or(cfg.cluster.device.mem_bytes)
+                } else {
+                    u64::MAX
+                };
+                let (d, info) = partition_dependencies(
+                    &dataset.graph,
+                    &part,
+                    model.dims(),
+                    &costs,
+                    dataset.scale,
+                    cfg.cluster.device.mem_bytes,
+                    &HybridConfig {
+                        memory_budget_bytes: Some(budget),
+                        ratio_override: cfg.hybrid.ratio_override,
+                    },
+                )?;
+                (d, Some(info))
+            }
+        };
+        let check = |plans: &[WorkerPlan]| -> Result<()> {
+            if !cfg.enforce_memory {
+                return Ok(());
+            }
+            // DepCache materializes whole layers (no chunk streaming);
+            // the chunk-based engines stream edge tensors.
+            let chunked = cfg.engine != EngineKind::DepCache;
+            let edge_widths: Vec<usize> = (0..model.num_layers())
+                .map(|lz| model.layer(lz).edge_tensor_width())
+                .collect();
+            check_device_fit(
+                cfg.engine.name(),
+                plans,
+                model.dims(),
+                &edge_widths,
+                chunked,
+                dataset.scale,
+                cfg.cluster.device.mem_bytes,
+            )
+        };
+        let mut plans = build_plans(&dataset.graph, &part, model.num_layers(), &decision)?;
+        let mut hybrid_info = hybrid_info;
+        match check(&plans) {
+            Ok(()) => {}
+            Err(first_err) => {
+                // Algorithm 4's internal memory estimate is deliberately
+                // coarse (it accrues subtree bytes, not the full working
+                // set). When the compiled plan still exceeds the device in
+                // *automatic* hybrid mode, shrink the caching budget and
+                // re-partition — the paper's constraint S is exactly this
+                // knob. Ratio-override mode (Fig. 11) and the pure engines
+                // surface the OOM instead, as the paper's tables do.
+                if cfg.engine != EngineKind::Hybrid || cfg.hybrid.ratio_override.is_some() {
+                    return Err(first_err);
+                }
+                let mut budget = cfg.cluster.device.mem_bytes / 2;
+                let mut done = false;
+                for _ in 0..6 {
+                    let (d, info) = partition_dependencies(
+                        &dataset.graph,
+                        &part,
+                        model.dims(),
+                        &costs,
+                        dataset.scale,
+                        cfg.cluster.device.mem_bytes,
+                        &HybridConfig {
+                            memory_budget_bytes: Some(budget),
+                            ratio_override: None,
+                        },
+                    )?;
+                    plans = build_plans(&dataset.graph, &part, model.num_layers(), &d)?;
+                    hybrid_info = Some(info);
+                    if check(&plans).is_ok() {
+                        done = true;
+                        break;
+                    }
+                    budget /= 2;
+                }
+                if !done {
+                    return Err(first_err);
+                }
+            }
+        }
+        Ok(Self { dataset, model, cfg, plans, costs, hybrid_info })
+    }
+
+    /// The compiled per-worker plans.
+    pub fn plans(&self) -> &[WorkerPlan] {
+        &self.plans
+    }
+
+    /// The probed cost factors.
+    pub fn costs(&self) -> &CostFactors {
+        &self.costs
+    }
+
+    /// Simulates one epoch on the modeled cluster.
+    pub fn simulate_epoch(&self) -> SimSummary {
+        let tg = build_epoch_task_graph(
+            &self.plans,
+            self.model.dims(),
+            &self.costs.flops,
+            self.model.gradient_bytes(),
+            &TgConfig {
+                opts: self.cfg.opts,
+                broadcast_full_partition: self.cfg.broadcast_full_partition,
+                sync: self.cfg.sync,
+            },
+        );
+        let bytes = tg.total_bytes();
+        let flops = tg.total_flops();
+        let report = simulate(&tg, &self.cfg.cluster, &self.cfg.opts);
+        SimSummary {
+            epoch_seconds: report.makespan,
+            bytes_per_epoch: bytes,
+            flops_per_epoch: flops,
+            device_utilization: report.mean_utilization(ResourceKind::Device),
+            nic_utilization: report.mean_utilization(ResourceKind::NicOut),
+            report,
+        }
+    }
+
+    /// Runs `epochs` epochs of real distributed training and returns the
+    /// full report.
+    pub fn train(&self, epochs: usize) -> Result<TrainingReport> {
+        let sim = self.simulate_epoch();
+        let exec_cfg = ExecConfig {
+            lr: self.cfg.lr,
+            optimizer: self.cfg.optimizer,
+            ring_order: self.cfg.opts.ring,
+            sync: self.cfg.sync,
+        };
+        let (metrics, final_params) =
+            train_epochs(self.dataset, self.model, &self.plans, epochs, &exec_cfg)?;
+        let epochs_out = metrics
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| EpochStats {
+                epoch: i,
+                loss: m.loss,
+                train_acc: m.train_acc,
+                val_acc: m.val_acc,
+                test_acc: m.test_acc,
+                wall_s: m.wall_s,
+            })
+            .collect();
+        Ok(TrainingReport {
+            engine: self.cfg.engine.name().to_string(),
+            dataset: self.dataset.name.clone(),
+            model: self.model.kind().name().to_string(),
+            workers: self.cfg.cluster.workers,
+            epochs: epochs_out,
+            sim,
+            plan: PlanSummary {
+                replica_slots: self.plans.iter().map(WorkerPlan::replica_slots).sum(),
+                prefetched_features: self
+                    .plans
+                    .iter()
+                    .map(WorkerPlan::prefetched_features)
+                    .sum(),
+                comm_rows_per_epoch: self
+                    .plans
+                    .iter()
+                    .map(WorkerPlan::forward_comm_rows)
+                    .sum(),
+                hybrid: self.hybrid_info.clone(),
+            },
+            final_params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_gnn::ModelKind;
+    use ns_graph::datasets::by_name;
+
+    fn dataset() -> Dataset {
+        by_name("google").unwrap().materialize(0.002, 11)
+    }
+
+    fn model(ds: &Dataset) -> GnnModel {
+        GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 32, ds.num_classes, 5)
+    }
+
+    fn cfg(engine: EngineKind, workers: usize) -> TrainerConfig {
+        TrainerConfig::new(engine, ClusterSpec::aliyun_ecs(workers))
+    }
+
+    #[test]
+    fn all_engines_prepare_and_train() {
+        let ds = dataset();
+        let m = model(&ds);
+        for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+            let trainer = Trainer::prepare(&ds, &m, cfg(engine, 4)).unwrap();
+            let report = trainer.train(3).unwrap();
+            assert_eq!(report.epochs.len(), 3);
+            assert!(report.sim.epoch_seconds > 0.0, "{}", engine.name());
+            assert!(
+                report.epochs[2].loss < report.epochs[0].loss * 1.05,
+                "{} loss should not explode",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_numerically() {
+        let ds = dataset();
+        let m = model(&ds);
+        let mut losses = Vec::new();
+        for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+            let trainer = Trainer::prepare(&ds, &m, cfg(engine, 4)).unwrap();
+            let report = trainer.train(2).unwrap();
+            losses.push(report.final_loss());
+        }
+        for w in losses.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 2e-3 * w[0].abs().max(1.0),
+                "engines diverged: {losses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depcache_burns_flops_depcomm_burns_bytes() {
+        let ds = dataset();
+        let m = model(&ds);
+        let cache = Trainer::prepare(&ds, &m, cfg(EngineKind::DepCache, 4))
+            .unwrap()
+            .simulate_epoch();
+        let comm = Trainer::prepare(&ds, &m, cfg(EngineKind::DepComm, 4))
+            .unwrap()
+            .simulate_epoch();
+        assert!(cache.flops_per_epoch > comm.flops_per_epoch);
+        assert!(comm.bytes_per_epoch > cache.bytes_per_epoch);
+        // DepCache keeps the device busier.
+        assert!(cache.device_utilization > comm.device_utilization);
+    }
+
+    #[test]
+    fn hybrid_is_no_slower_than_both_pure_engines() {
+        let ds = dataset();
+        let m = model(&ds);
+        let time = |engine| {
+            Trainer::prepare(&ds, &m, cfg(engine, 4))
+                .unwrap()
+                .simulate_epoch()
+                .epoch_seconds
+        };
+        let cache = time(EngineKind::DepCache);
+        let comm = time(EngineKind::DepComm);
+        let hybrid = time(EngineKind::Hybrid);
+        assert!(
+            hybrid <= cache.max(comm) * 1.05,
+            "hybrid {hybrid} vs cache {cache} / comm {comm}"
+        );
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 1);
+        c.cluster.workers = 0;
+        assert!(Trainer::prepare(&ds, &m, c).is_err());
+    }
+}

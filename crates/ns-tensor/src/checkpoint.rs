@@ -1,0 +1,186 @@
+//! Model checkpointing: a small, self-describing binary format for
+//! [`ParamStore`] snapshots.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   [u8; 8]  = b"NTSCKPT1"
+//! count   u32      number of parameters
+//! per parameter:
+//!   name_len u32, name [u8; name_len] (UTF-8)
+//!   rows u32, cols u32
+//!   data [f32; rows*cols] (LE)
+//! ```
+//!
+//! Round trips are exact (bit-identical f32), so a restored replica
+//! continues training deterministically.
+
+use std::io::{self, Read, Write};
+
+use crate::nn::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"NTSCKPT1";
+
+/// Serializes `store` into `w`.
+pub fn save(store: &ParamStore, w: &mut dyn Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Deserializes a [`ParamStore`] from `r`.
+pub fn load(r: &mut dyn Read) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a NeutronStar checkpoint"));
+    }
+    let count = read_u32(r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("parameter name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("invalid UTF-8 name"))?;
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| bad("tensor shape overflow"))?;
+        let mut bytes = vec![0u8; elems * 4];
+        r.read_exact(&mut bytes)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        store.register(name, Tensor::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+/// Restores checkpointed values into an *existing* store (e.g. one freshly
+/// built by a model constructor) by matching parameter names. Errors if
+/// any name or shape disagrees — a checkpoint for a different
+/// architecture must not half-apply.
+pub fn restore_into(store: &mut ParamStore, r: &mut dyn Read) -> io::Result<()> {
+    let loaded = load(r)?;
+    if loaded.len() != store.len() {
+        return Err(bad("parameter count mismatch"));
+    }
+    // Validate everything before mutating anything.
+    for (_, name, value) in loaded.iter() {
+        let id = store
+            .find(name)
+            .ok_or_else(|| bad(&format!("unknown parameter {name:?}")))?;
+        if store.value(id).shape() != value.shape() {
+            return Err(bad(&format!("shape mismatch for {name:?}")));
+        }
+    }
+    for (_, name, value) in loaded.iter() {
+        let id = store.find(name).expect("validated above");
+        *store.value_mut(id) = value.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::nn::Init;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = ParamStore::new();
+        s.register("layer0.weight", Init::XavierUniform.tensor(8, 4, &mut rng));
+        s.register("layer0.bias", Init::Zeros.tensor(1, 4, &mut rng));
+        s.register("eps", Tensor::scalar(0.25));
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1.shape(), v2.shape());
+            assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    #[test]
+    fn restore_into_matches_by_name() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let mut fresh = sample_store();
+        // Perturb, then restore.
+        let id = fresh.find("eps").unwrap();
+        *fresh.value_mut(id) = Tensor::scalar(99.0);
+        restore_into(&mut fresh, &mut buf.as_slice()).unwrap();
+        assert_eq!(fresh.value(id).scalar_value(), 0.25);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load(&mut b"NOTACKPT....".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.register("layer0.weight", Tensor::zeros(2, 2)); // wrong shape
+        other.register("layer0.bias", Tensor::zeros(1, 4));
+        other.register("eps", Tensor::scalar(0.0));
+        let before = other.value(other.find("eps").unwrap()).scalar_value();
+        assert!(restore_into(&mut other, &mut buf.as_slice()).is_err());
+        // Nothing was half-applied.
+        assert_eq!(
+            other.value(other.find("eps").unwrap()).scalar_value(),
+            before
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! FLOP accounting shared between the tape and non-tape kernels.
+//!
+//! The cluster simulator in `ns-net` replays an epoch's compute tasks on a
+//! modeled device; the engines obtain those task weights from FLOP counts
+//! recorded here and on [`Tape::flops`](crate::Tape::flops).
+
+/// An accumulating FLOP counter with snapshot/delta support.
+#[derive(Debug, Default, Clone)]
+pub struct FlopCounter {
+    total: u64,
+}
+
+impl FlopCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `flops` to the counter.
+    #[inline]
+    pub fn add(&mut self, flops: u64) {
+        self.total += flops;
+    }
+
+    /// The running total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the FLOPs accumulated since `mark` and advances `mark` to
+    /// the current total.
+    pub fn delta_since(&self, mark: &mut u64) -> u64 {
+        let d = self.total - *mark;
+        *mark = self.total;
+        d
+    }
+}
+
+/// FLOPs of a dense `n x k @ k x m` matrix product.
+#[inline]
+pub fn matmul_flops(n: usize, k: usize, m: usize) -> u64 {
+    2 * n as u64 * k as u64 * m as u64
+}
+
+/// FLOPs of aggregating `edges` messages of width `dim` (one add per
+/// element).
+#[inline]
+pub fn aggregate_flops(edges: usize, dim: usize) -> u64 {
+    edges as u64 * dim as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_diffs() {
+        let mut c = FlopCounter::new();
+        c.add(100);
+        c.add(50);
+        assert_eq!(c.total(), 150);
+        let mut mark = 0;
+        assert_eq!(c.delta_since(&mut mark), 150);
+        c.add(25);
+        assert_eq!(c.delta_since(&mut mark), 25);
+        assert_eq!(c.delta_since(&mut mark), 0);
+    }
+
+    #[test]
+    fn helper_formulas() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+        assert_eq!(aggregate_flops(10, 16), 160);
+    }
+}

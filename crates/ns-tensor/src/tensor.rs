@@ -1,0 +1,782 @@
+//! The dense 2-D tensor type and its eager (non-autograd) kernels.
+
+/// A dense, row-major, two-dimensional `f32` tensor.
+///
+/// Scalars are represented as `1 x 1` tensors; row vectors (e.g. biases) as
+/// `1 x d`. All kernels are panics-on-misuse internally but the public
+/// constructors validate shapes.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 12 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from raw parts. Panics if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// A `rows x cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the backing storage.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `1 x 1` tensor.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar_value on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Returns `self @ other` (matrix product).
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop is a contiguous
+    /// fused-multiply-add over `other`'s rows, which LLVM vectorizes.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Returns `selfᵀ @ other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: {}x{} , {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for kk in 0..k {
+            let arow = &self.data[kk * n..(kk + 1) * n];
+            let brow = &other.data[kk * m..(kk + 1) * m];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Returns `self @ otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} , {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..m {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow.iter()) {
+                    acc += a * b;
+                }
+                out[i * m + j] = acc;
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Elementwise sum; shapes must match exactly.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Elementwise difference; shapes must match exactly.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match exactly.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "mul: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each row `r` by the scalar `coeff[r]` (an `n x 1` tensor).
+    pub fn mul_col_broadcast(&self, coeff: &Tensor) -> Tensor {
+        assert_eq!(coeff.cols, 1, "mul_col_broadcast: coeff must be n x 1");
+        assert_eq!(coeff.rows, self.rows, "mul_col_broadcast: height mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let c = coeff.data[r];
+            for o in out.row_mut(r) {
+                *o *= c;
+            }
+        }
+        out
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other` (AXPY).
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Gathers rows `idx` into a new `idx.len() x cols` tensor.
+    pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let mut out = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            out.extend_from_slice(self.row(i as usize));
+        }
+        Tensor::from_vec(idx.len(), self.cols, out)
+    }
+
+    /// Scatter-add: `out[idx[r]] += self[r]` for every row `r`; output has
+    /// `n_out` rows. The accumulation visits rows in ascending `r`, making
+    /// the result deterministic for a fixed `idx`.
+    pub fn scatter_add_rows(&self, idx: &[u32], n_out: usize) -> Tensor {
+        assert_eq!(idx.len(), self.rows, "scatter_add_rows: index count");
+        let mut out = Tensor::zeros(n_out, self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            let dst = i as usize;
+            debug_assert!(dst < n_out);
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            let d = &mut out.data[dst * self.cols..(dst + 1) * self.cols];
+            for (o, &s) in d.iter_mut().zip(src.iter()) {
+                *o += s;
+            }
+        }
+        out
+    }
+
+    /// Concatenates columns: `[self | other]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            out.extend_from_slice(self.row(r));
+            out.extend_from_slice(other.row(r));
+        }
+        Tensor::from_vec(self.rows, cols, out)
+    }
+
+    /// Splits columns at `at`: returns (`[.., ..at]`, `[.., at..]`).
+    pub fn split_cols(&self, at: usize) -> (Tensor, Tensor) {
+        assert!(at <= self.cols, "split_cols: at > cols");
+        let mut left = Vec::with_capacity(self.rows * at);
+        let mut right = Vec::with_capacity(self.rows * (self.cols - at));
+        for r in 0..self.rows {
+            let row = self.row(r);
+            left.extend_from_slice(&row[..at]);
+            right.extend_from_slice(&row[at..]);
+        }
+        (
+            Tensor::from_vec(self.rows, at, left),
+            Tensor::from_vec(self.rows, self.cols - at, right),
+        )
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> Tensor {
+        let data = self.data.iter().map(|&a| a.max(0.0)).collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        let data = self
+            .data
+            .iter()
+            .map(|&a| if a > 0.0 { a } else { alpha * a })
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// ELU with scale `alpha`.
+    pub fn elu(&self, alpha: f32) -> Tensor {
+        let data = self
+            .data
+            .iter()
+            .map(|&a| if a > 0.0 { a } else { alpha * (a.exp() - 1.0) })
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Row-wise log-softmax (numerically stabilized).
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v -= max;
+                sum += v.exp();
+            }
+            let log_sum = sum.ln();
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of columns: returns a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(1, self.cols, out)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element per row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0usize;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Fused sparse aggregation (SpMM-style): for each destination `d`,
+    /// sums `weights[e] * self[edge_src[e]]` over `e` in
+    /// `dst_offsets[d]..dst_offsets[d+1]`. `weights = None` means
+    /// unweighted. Never materializes per-edge rows — this is the fused
+    /// kernel real GNN backends use for copy-style edge functions.
+    pub fn weighted_aggregate(
+        &self,
+        edge_src: &[u32],
+        dst_offsets: &[usize],
+        weights: Option<&[f32]>,
+    ) -> Tensor {
+        let n_dst = dst_offsets.len() - 1;
+        let d = self.cols;
+        let mut out = Tensor::zeros(n_dst, d);
+        for dst in 0..n_dst {
+            let row = &mut out.data[dst * d..(dst + 1) * d];
+            for e in dst_offsets[dst]..dst_offsets[dst + 1] {
+                let src = edge_src[e] as usize;
+                debug_assert!(src < self.rows);
+                let srow = &self.data[src * d..(src + 1) * d];
+                match weights {
+                    Some(w) => {
+                        let we = w[e];
+                        for (o, &s) in row.iter_mut().zip(srow) {
+                            *o += we * s;
+                        }
+                    }
+                    None => {
+                        for (o, &s) in row.iter_mut().zip(srow) {
+                            *o += s;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`Self::weighted_aggregate`]: treats `self` as the
+    /// gradient over destinations and scatters it back to the `n_src`
+    /// source rows through the same edge structure.
+    pub fn weighted_aggregate_transpose(
+        &self,
+        edge_src: &[u32],
+        dst_offsets: &[usize],
+        weights: Option<&[f32]>,
+        n_src: usize,
+    ) -> Tensor {
+        let n_dst = dst_offsets.len() - 1;
+        assert_eq!(n_dst, self.rows, "gradient rows must match destinations");
+        let d = self.cols;
+        let mut out = Tensor::zeros(n_src, d);
+        for dst in 0..n_dst {
+            let grow = &self.data[dst * d..(dst + 1) * d];
+            for e in dst_offsets[dst]..dst_offsets[dst + 1] {
+                let src = edge_src[e] as usize;
+                debug_assert!(src < n_src);
+                let orow = &mut out.data[src * d..(src + 1) * d];
+                match weights {
+                    Some(w) => {
+                        let we = w[e];
+                        for (o, &g) in orow.iter_mut().zip(grow) {
+                            *o += we * g;
+                        }
+                    }
+                    None => {
+                        for (o, &g) in orow.iter_mut().zip(grow) {
+                            *o += g;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Max-aggregation over in-edges: for each destination `d` and column
+    /// `c`, takes the maximum of `self[edge_src[e]][c]` over `d`'s edge
+    /// segment. Returns the aggregated tensor and, per output element, the
+    /// *edge index* that won (needed by the adjoint; `u32::MAX` marks
+    /// empty segments, whose output is 0).
+    pub fn max_aggregate(
+        &self,
+        edge_src: &[u32],
+        dst_offsets: &[usize],
+    ) -> (Tensor, Vec<u32>) {
+        let n_dst = dst_offsets.len() - 1;
+        let d = self.cols;
+        let mut out = Tensor::zeros(n_dst, d);
+        let mut argmax = vec![u32::MAX; n_dst * d];
+        for dst in 0..n_dst {
+            let (s, e) = (dst_offsets[dst], dst_offsets[dst + 1]);
+            if s == e {
+                continue;
+            }
+            for c in 0..d {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_e = u32::MAX;
+                for (idx, &src) in edge_src[s..e].iter().enumerate() {
+                    let v = self.data[src as usize * d + c];
+                    if v > best {
+                        best = v;
+                        best_e = (s + idx) as u32;
+                    }
+                }
+                out.data[dst * d + c] = best;
+                argmax[dst * d + c] = best_e;
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Softmax over contiguous row segments.
+    ///
+    /// `offsets` has `n_segments + 1` entries; rows `offsets[s]..offsets[s+1]`
+    /// form a segment that is normalized jointly (across all its rows and
+    /// columns). Used for GAT attention normalized per destination vertex,
+    /// where rows are edge logits grouped by destination.
+    pub fn segment_softmax(&self, offsets: &[usize]) -> Tensor {
+        assert_eq!(self.cols, 1, "segment_softmax expects an e x 1 tensor");
+        assert_eq!(*offsets.last().unwrap_or(&0), self.rows);
+        let mut out = self.clone();
+        for w in offsets.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            if s == e {
+                continue;
+            }
+            let seg = &mut out.data[s..e];
+            let max = seg.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in seg.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in seg.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Bytes occupied by the payload (excluding the struct header). Used by
+    /// the network/memory models.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        let via_t = a.transpose().matmul(&b);
+        let direct = a.matmul_tn(&b);
+        assert_eq!(via_t.data(), direct.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32).collect());
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_nt(&b);
+        assert_eq!(via_t.data(), direct.data());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(1, 3, vec![1., -2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 3., 9.]);
+        assert_eq!(a.sub(&b).data(), &[-3., -7., -3.]);
+        assert_eq!(a.mul(&b).data(), &[4., -10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., -4., 6.]);
+    }
+
+    #[test]
+    fn broadcast_ops() {
+        let x = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let bias = Tensor::from_vec(1, 2, vec![10., 20.]);
+        assert_eq!(x.add_row_broadcast(&bias).data(), &[11., 22., 13., 24.]);
+        let coeff = Tensor::from_vec(2, 1, vec![2., 3.]);
+        assert_eq!(x.mul_col_broadcast(&coeff).data(), &[2., 4., 9., 12.]);
+    }
+
+    #[test]
+    fn gather_and_scatter_are_adjoint_shapes() {
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = x.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5., 6., 1., 2., 5., 6.]);
+        let s = g.scatter_add_rows(&[2, 0, 2], 3);
+        assert_eq!(s.data(), &[1., 2., 0., 0., 10., 12.]);
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 1, vec![9., 10.]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        let (l, r) = c.split_cols(2);
+        assert_eq!(l.data(), a.data());
+        assert_eq!(r.data(), b.data());
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(1, 2, vec![-1.0, 2.0]);
+        assert_eq!(x.relu().data(), &[0.0, 2.0]);
+        assert_eq!(x.leaky_relu(0.1).data(), &[-0.1, 2.0]);
+        let e = x.elu(1.0);
+        assert!((e.data()[0] - (-1.0f32).exp_m1()).abs() < 1e-6);
+        assert_eq!(e.data()[1], 2.0);
+    }
+
+    #[test]
+    fn log_softmax_rows_sums_to_one() {
+        let x = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let ls = x.log_softmax_rows();
+        for r in 0..2 {
+            let s: f32 = ls.row(r).iter().map(|v| v.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let x = Tensor::from_vec(5, 1, vec![1., 2., 3., 0.5, 0.5]);
+        let sm = x.segment_softmax(&[0, 3, 5]);
+        let s1: f32 = sm.data()[..3].iter().sum();
+        let s2: f32 = sm.data()[3..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-5);
+        assert!((s2 - 1.0).abs() < 1e-5);
+        // Equal logits -> equal probabilities.
+        assert!((sm.data()[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_handles_empty_segment() {
+        let x = Tensor::from_vec(2, 1, vec![1., 1.]);
+        let sm = x.segment_softmax(&[0, 0, 2]);
+        assert!((sm.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_aggregate_matches_manual_sum() {
+        // dst0 <- {0 (w 2), 1 (w 1)}; dst1 <- {2 (w 0.5)}.
+        let x = Tensor::from_vec(3, 2, vec![1., 10., 2., 20., 4., 40.]);
+        let src = [0u32, 1, 2];
+        let off = [0usize, 2, 3];
+        let w = [2.0f32, 1.0, 0.5];
+        let agg = x.weighted_aggregate(&src, &off, Some(&w));
+        assert_eq!(agg.data(), &[4., 40., 2., 20.]);
+        let unweighted = x.weighted_aggregate(&src, &off, None);
+        assert_eq!(unweighted.data(), &[3., 30., 4., 40.]);
+    }
+
+    #[test]
+    fn weighted_aggregate_equals_gather_scatter_composition() {
+        let x = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32).collect());
+        let src = [3u32, 0, 1, 1, 2];
+        let dst = [0u32, 0, 1, 2, 2];
+        let off = [0usize, 2, 3, 5];
+        let fused = x.weighted_aggregate(&src, &off, None);
+        let composed = x.gather_rows(&src).scatter_add_rows(&dst, 3);
+        assert_eq!(fused.data(), composed.data());
+    }
+
+    #[test]
+    fn aggregate_transpose_is_adjoint() {
+        // <A x, y> == <x, A^T y> for the linear aggregation operator.
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = Tensor::from_vec(2, 2, vec![0.5, -1., 2., 0.25]);
+        let src = [0u32, 2, 1];
+        let off = [0usize, 2, 3];
+        let w = [1.5f32, -0.5, 2.0];
+        let ax = x.weighted_aggregate(&src, &off, Some(&w));
+        let aty = y.weighted_aggregate_transpose(&src, &off, Some(&w), 3);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(x.sum(), 10.0);
+        assert_eq!(x.sum_rows().data(), &[4., 6.]);
+        assert!((x.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(x.argmax_rows(), vec![1, 1]);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::from_vec(1, 2, vec![1., 2.]);
+        let b = Tensor::from_vec(1, 2, vec![10., 20.]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11., 22.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[16., 32.]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the tensor kernels and autograd tape.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ns_tensor::{Tape, Tensor};
+
+prop_compose! {
+    fn tensor_strategy(max_rows: usize, max_cols: usize)
+        (rows in 1..max_rows, cols in 1..max_cols)
+        (rows in Just(rows), cols in Just(cols),
+         data in prop::collection::vec(-10.0f32..10.0, rows * cols))
+        -> Tensor
+    {
+        Tensor::from_vec(rows, cols, data)
+    }
+}
+
+fn tensor_with(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| (((i as u64 + 1).wrapping_mul(seed * 2 + 1) % 997) as f32 - 498.0) / 100.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transpose is an involution and swaps shape.
+    #[test]
+    fn transpose_involution(t in tensor_strategy(12, 12)) {
+        let tt = t.transpose().transpose();
+        prop_assert_eq!(t.shape(), tt.shape());
+        prop_assert_eq!(t.data(), tt.data());
+    }
+
+    /// matmul_tn / matmul_nt agree with explicit transposes.
+    #[test]
+    fn fused_transpose_matmuls(seed in 0u64..500, n in 1usize..8, k in 1usize..8, m in 1usize..8) {
+        let a = tensor_with(k, n, seed);
+        let b = tensor_with(k, m, seed + 1);
+        let direct = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-3);
+
+        let c = tensor_with(n, k, seed + 2);
+        let d = tensor_with(m, k, seed + 3);
+        let direct = c.matmul_nt(&d);
+        let explicit = c.matmul(&d.transpose());
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-3);
+    }
+
+    /// Matrix product distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..500, n in 1usize..6, k in 1usize..6, m in 1usize..6) {
+        let a = tensor_with(n, k, seed);
+        let b = tensor_with(n, k, seed + 7);
+        let c = tensor_with(k, m, seed + 13);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    /// ⟨Ax, y⟩ = ⟨x, Aᵀy⟩ for the aggregation operator with arbitrary
+    /// edge structure.
+    #[test]
+    fn aggregation_adjoint_identity(
+        seed in 0u64..500,
+        n_src in 1usize..10,
+        n_dst in 1usize..10,
+        edges in 0usize..40,
+    ) {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_dst];
+        for e in 0..edges {
+            let d = (e * 7 + seed as usize) % n_dst;
+            let s = (e * 13 + seed as usize * 3) % n_src;
+            lists[d].push(s as u32);
+        }
+        let mut edge_src = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut weights = Vec::new();
+        for list in &lists {
+            for (i, &s) in list.iter().enumerate() {
+                edge_src.push(s);
+                weights.push(((i + 1) as f32) * 0.3 - 0.5);
+            }
+            offsets.push(edge_src.len());
+        }
+        let x = tensor_with(n_src, 3, seed + 1);
+        let y = tensor_with(n_dst, 3, seed + 2);
+        let ax = x.weighted_aggregate(&edge_src, &offsets, Some(&weights));
+        let aty = y.weighted_aggregate_transpose(&edge_src, &offsets, Some(&weights), n_src);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Row softmax produces a probability distribution per row.
+    #[test]
+    fn log_softmax_rows_are_distributions(t in tensor_strategy(8, 8)) {
+        let ls = t.log_softmax_rows();
+        for r in 0..t.rows() {
+            let sum: f32 = ls.row(r).iter().map(|v| v.exp()).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(ls.row(r).iter().all(|&v| v <= 1e-6));
+        }
+    }
+
+    /// The tape gradient of sum(elu(xW + b)) matches central differences
+    /// for arbitrary shapes and values (ELU is C¹, so central differences
+    /// are reliable everywhere, unlike ReLU's kink).
+    #[test]
+    fn tape_affine_elu_gradcheck(seed in 0u64..200, n in 1usize..5, k in 1usize..5, m in 1usize..5) {
+        let x0 = tensor_with(n, k, seed);
+        let w0 = tensor_with(k, m, seed + 1).scale(0.1);
+        let b0 = tensor_with(1, m, seed + 2).scale(0.1);
+
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let w = tape.leaf(w0.clone());
+        let b = tape.leaf(b0.clone());
+        let xw = tape.matmul(x, w);
+        let z = tape.add_row_broadcast(xw, b);
+        let y = tape.elu(z, 1.0);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let gw = tape.grad(w).unwrap().clone();
+
+        let f = |wt: &Tensor| x0.matmul(wt).add_row_broadcast(&b0).elu(1.0).sum();
+        let eps = 1e-2;
+        for i in 0..w0.len() {
+            let mut p = w0.clone();
+            p.data_mut()[i] += eps;
+            let mut q = w0.clone();
+            q.data_mut()[i] -= eps;
+            let num = (f(&p) - f(&q)) / (2.0 * eps);
+            prop_assert!((gw.data()[i] - num).abs() < 0.05 + 0.02 * num.abs(),
+                "elem {i}: {} vs {num}", gw.data()[i]);
+        }
+    }
+
+    /// Gather followed by its adjoint (scatter-add through the same index)
+    /// conserves total mass for a uniform gradient.
+    #[test]
+    fn gather_scatter_conserves_mass(
+        seed in 0u64..300,
+        n in 1usize..10,
+        picks in 1usize..20,
+    ) {
+        let x = tensor_with(n, 2, seed);
+        let idx: Vec<u32> = (0..picks).map(|i| ((i * 31 + seed as usize) % n) as u32).collect();
+        let idx: Arc<[u32]> = idx.into();
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let g = tape.gather_rows(xv, Arc::clone(&idx));
+        let rows = tape.value(g).rows();
+        tape.backward_from(g, Tensor::full(rows, 2, 1.0));
+        let grad_sum = tape.grad(xv).unwrap().sum();
+        prop_assert!((grad_sum - (picks * 2) as f32).abs() < 1e-3);
+    }
+}

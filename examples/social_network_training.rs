@@ -1,0 +1,60 @@
+//! End-to-end scenario: community detection on a social network with a
+//! Graph Attention Network.
+//!
+//! This is the workload class the paper's introduction motivates (social
+//! networks, knowledge graphs): a Reddit-like community-structured graph
+//! where the GNN must actually *learn* — accuracies below are real, not
+//! simulated. GAT exercises the parameterized edge path (`EdgeForward`
+//! with attention logits + per-destination softmax) that distinguishes
+//! NeutronStar from systems like ROC, which cannot express it.
+//!
+//! Run with: `cargo run --release --example social_network_training`
+
+use neutronstar::prelude::*;
+
+fn main() -> Result<(), RuntimeError> {
+    // Reddit stand-in: stochastic block model, 41 communities, learnable
+    // labels. Keep it small enough to train attentively in seconds.
+    let dataset = DatasetSpec::named("reddit")
+        .expect("registered dataset")
+        .materialize(0.003, 11);
+    println!(
+        "social graph: {} vertices, {} edges, {} communities",
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+        dataset.num_classes,
+    );
+
+    let model = GnnModel::two_layer(
+        ModelKind::Gat,
+        dataset.feature_dim(),
+        64,
+        dataset.num_classes,
+        3,
+    );
+
+    let session = TrainingSession::builder()
+        .engine(EngineKind::Hybrid)
+        .cluster(ClusterSpec::aliyun_ecs(4))
+        .learning_rate(0.02)
+        .build(&dataset, &model)?;
+
+    let epochs = 60;
+    let report = session.train(epochs)?;
+
+    println!("\nepoch  loss      val-acc  test-acc");
+    for e in report.epochs.iter().step_by(10) {
+        println!(
+            "{:>5}  {:<8.4}  {:>6.3}  {:>7.3}",
+            e.epoch, e.loss, e.val_acc, e.test_acc
+        );
+    }
+    let final_acc = report.final_test_acc();
+    println!(
+        "\nfinal test accuracy: {:.1}% after {:.3}s of simulated cluster time",
+        final_acc * 100.0,
+        report.simulated_seconds(epochs),
+    );
+    assert!(final_acc > 0.4, "GAT should separate the communities");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Workspace-level umbrella crate for the NeutronStar reproduction.
+//!
+//! This crate exists so that the repository-root `examples/` and `tests/`
+//! directories are valid Cargo targets that can exercise the public API of
+//! every workspace crate. Library users should depend on [`neutronstar`]
+//! directly.
+
+pub use neutronstar;
+pub use ns_baselines;
+pub use ns_gnn;
+pub use ns_graph;
+pub use ns_net;
+pub use ns_runtime;
+pub use ns_tensor;

@@ -1,0 +1,117 @@
+//! The reproduction's keystone invariant: DepCache, DepComm, and Hybrid
+//! are *the same computation* executed under different dependency
+//! treatments. Per-epoch losses and accuracies must agree — across
+//! engines, worker counts, partitioners, models, and forced cache ratios
+//! — up to float summation order.
+
+use neutronstar::prelude::*;
+use ns_graph::datasets::by_name;
+use ns_runtime::HybridConfig;
+
+fn small_dataset(seed: u64) -> Dataset {
+    by_name("cora").unwrap().materialize(0.25, seed)
+}
+
+fn run(
+    ds: &Dataset,
+    model: &GnnModel,
+    engine: EngineKind,
+    workers: usize,
+    partitioner: Partitioner,
+    ratio: Option<f64>,
+    epochs: usize,
+) -> TrainingReport {
+    TrainingSession::builder()
+        .engine(engine)
+        .partitioner(partitioner)
+        .cluster(ClusterSpec::aliyun_ecs(workers))
+        .hybrid(HybridConfig { ratio_override: ratio, ..Default::default() })
+        .without_memory_check()
+        .build(ds, model)
+        .expect("build")
+        .train(epochs)
+        .expect("train")
+}
+
+fn assert_close_runs(a: &TrainingReport, b: &TrainingReport, what: &str) {
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+        let tol = 2e-3 * ea.loss.abs().max(1.0);
+        assert!(
+            (ea.loss - eb.loss).abs() < tol,
+            "{what}: epoch {} loss {} vs {}",
+            ea.epoch,
+            ea.loss,
+            eb.loss
+        );
+    }
+}
+
+#[test]
+fn engines_match_single_machine_reference() {
+    let ds = small_dataset(3);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 5);
+    let reference = run(&ds, &model, EngineKind::DepComm, 1, Partitioner::Chunk, None, 4);
+    for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+        let distributed = run(&ds, &model, engine, 4, Partitioner::Chunk, None, 4);
+        assert_close_runs(&reference, &distributed, engine.name());
+    }
+}
+
+#[test]
+fn equivalence_holds_for_every_model_kind() {
+    let ds = small_dataset(4);
+    for kind in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat] {
+        let model = GnnModel::two_layer(kind, ds.feature_dim(), 12, ds.num_classes, 5);
+        let cache = run(&ds, &model, EngineKind::DepCache, 3, Partitioner::Chunk, None, 3);
+        let comm = run(&ds, &model, EngineKind::DepComm, 3, Partitioner::Chunk, None, 3);
+        assert_close_runs(&cache, &comm, kind.name());
+    }
+}
+
+#[test]
+fn equivalence_holds_under_every_partitioner() {
+    let ds = small_dataset(5);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 5);
+    let reference = run(&ds, &model, EngineKind::DepComm, 1, Partitioner::Chunk, None, 3);
+    for p in [Partitioner::Chunk, Partitioner::MetisLike, Partitioner::Fennel] {
+        let hybrid = run(&ds, &model, EngineKind::Hybrid, 4, p, None, 3);
+        assert_close_runs(&reference, &hybrid, p.name());
+    }
+}
+
+#[test]
+fn equivalence_holds_for_any_forced_cache_ratio() {
+    let ds = small_dataset(6);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 5);
+    let reference = run(&ds, &model, EngineKind::DepComm, 2, Partitioner::Chunk, None, 3);
+    for ratio in [0.0, 0.3, 0.7, 1.0] {
+        let mixed = run(&ds, &model, EngineKind::Hybrid, 2, Partitioner::Chunk, Some(ratio), 3);
+        assert_close_runs(&reference, &mixed, &format!("ratio {ratio}"));
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_numerics() {
+    let ds = small_dataset(7);
+    let model = GnnModel::two_layer(ModelKind::Gin, ds.feature_dim(), 12, ds.num_classes, 5);
+    let runs: Vec<TrainingReport> = [1usize, 2, 3, 5]
+        .iter()
+        .map(|&m| run(&ds, &model, EngineKind::Hybrid, m, Partitioner::Chunk, None, 3))
+        .collect();
+    for r in &runs[1..] {
+        assert_close_runs(&runs[0], r, &format!("{} workers", r.workers));
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let ds = small_dataset(8);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 5);
+    let a = run(&ds, &model, EngineKind::Hybrid, 3, Partitioner::Chunk, None, 3);
+    let b = run(&ds, &model, EngineKind::Hybrid, 3, Partitioner::Chunk, None, 3);
+    for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+        assert_eq!(ea.loss, eb.loss, "bitwise deterministic");
+        assert_eq!(ea.train_acc, eb.train_acc);
+    }
+}

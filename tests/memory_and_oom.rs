@@ -1,0 +1,104 @@
+//! Out-of-memory behaviour across engines and baselines — the paper's
+//! OOM matrix (Figs. 10–12, Tables 4–5) as executable assertions.
+
+use neutronstar::prelude::*;
+use ns_baselines::{shared_memory_row, SharedMemorySystem, SysResult};
+use ns_graph::datasets::by_name;
+use ns_runtime::{HybridConfig, Trainer, TrainerConfig};
+
+fn prepare<'a>(
+    ds: &'a Dataset,
+    model: &'a GnnModel,
+    engine: EngineKind,
+    workers: usize,
+    ratio: Option<f64>,
+) -> Result<Trainer<'a>, RuntimeError> {
+    let mut cfg = TrainerConfig::new(engine, ClusterSpec::aliyun_ecs(workers));
+    cfg.hybrid = HybridConfig { ratio_override: ratio, ..Default::default() };
+    Trainer::prepare(ds, model, cfg)
+}
+
+#[test]
+fn depcache_ooms_on_dense_graph_but_chunked_engines_survive() {
+    // LiveJournal at 16 workers: the paper's DepCache cannot hold the
+    // 2-hop closure; DepComm and Hybrid (chunked, host-cached) can.
+    let ds = by_name("livejournal").unwrap().materialize(0.001, 42);
+    let model =
+        GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), ds.hidden_dim, ds.num_classes, 1);
+    let cache = prepare(&ds, &model, EngineKind::DepCache, 16, None);
+    assert!(
+        matches!(cache, Err(RuntimeError::DeviceOom { .. })),
+        "DepCache must OOM on livejournal"
+    );
+    assert!(prepare(&ds, &model, EngineKind::DepComm, 16, None).is_ok());
+    assert!(prepare(&ds, &model, EngineKind::Hybrid, 16, None).is_ok());
+}
+
+#[test]
+fn caching_everything_ooms_for_gat_on_orkut() {
+    // Fig. 11's observation, as a test.
+    let ds = by_name("orkut").unwrap().materialize(0.0008, 42);
+    let model =
+        GnnModel::two_layer(ModelKind::Gat, ds.feature_dim(), ds.hidden_dim, ds.num_classes, 1);
+    let all_cached = prepare(&ds, &model, EngineKind::Hybrid, 16, Some(1.0));
+    assert!(
+        matches!(all_cached, Err(RuntimeError::DeviceOom { .. })),
+        "ratio=1.0 must OOM for GAT on orkut"
+    );
+    // The automatic mode backs off the budget and fits.
+    assert!(prepare(&ds, &model, EngineKind::Hybrid, 16, None).is_ok());
+}
+
+#[test]
+fn oom_error_reports_projected_sizes() {
+    let ds = by_name("reddit").unwrap().materialize(0.001, 42);
+    let model =
+        GnnModel::two_layer(ModelKind::Gat, ds.feature_dim(), ds.hidden_dim, ds.num_classes, 1);
+    match prepare(&ds, &model, EngineKind::DepCache, 4, None) {
+        Err(RuntimeError::DeviceOom { needed_bytes, limit_bytes, what }) => {
+            assert!(needed_bytes > limit_bytes);
+            assert_eq!(what, "DepCache");
+        }
+        Err(other) => panic!("expected OOM, got {other}"),
+        Ok(_) => panic!("expected OOM, got a successful plan"),
+    }
+}
+
+#[test]
+fn pyg_like_ooms_where_nts_survives() {
+    let ds = by_name("google").unwrap().materialize(0.002, 42);
+    let model =
+        GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), ds.hidden_dim, ds.num_classes, 1);
+    let gpu = ClusterSpec::aliyun_ecs(1);
+    assert_eq!(
+        shared_memory_row(SharedMemorySystem::PygLike, &ds, &model, &gpu),
+        SysResult::Oom
+    );
+    assert!(matches!(
+        shared_memory_row(SharedMemorySystem::Nts, &ds, &model, &gpu),
+        SysResult::Time(_)
+    ));
+}
+
+#[test]
+fn small_graphs_fit_everywhere() {
+    let ds = by_name("cora").unwrap().materialize(1.0, 42);
+    let model = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 128, ds.num_classes, 1);
+    for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+        assert!(prepare(&ds, &model, engine, 4, None).is_ok(), "{}", engine.name());
+    }
+    let gpu = ClusterSpec::aliyun_ecs(1);
+    for sys in [
+        SharedMemorySystem::PygLike,
+        SharedMemorySystem::DglLike,
+        SharedMemorySystem::DglCpu,
+        SharedMemorySystem::RocSingle,
+        SharedMemorySystem::Nts,
+    ] {
+        assert!(
+            matches!(shared_memory_row(sys, &ds, &model, &gpu), SysResult::Time(_)),
+            "{} must complete cora",
+            sys.name()
+        );
+    }
+}

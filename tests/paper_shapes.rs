@@ -1,0 +1,187 @@
+//! Regression tests for the *shapes* of the paper's findings: who wins,
+//! in which regime, and in which direction each factor pushes. These are
+//! the claims the reproduction exists to check, pinned as tests so they
+//! cannot silently rot.
+
+use neutronstar::prelude::*;
+use ns_baselines::{roc_like_config, DistDglConfig, DistDglLike};
+use ns_graph::datasets::by_name;
+use ns_runtime::{Trainer, TrainerConfig};
+
+fn load(name: &str, scale: f64) -> Dataset {
+    by_name(name).unwrap().materialize(scale, 42)
+}
+
+fn gcn(ds: &Dataset, hidden: usize) -> GnnModel {
+    GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), hidden, ds.num_classes, 42)
+}
+
+fn epoch_time(
+    ds: &Dataset,
+    model: &GnnModel,
+    engine: EngineKind,
+    cluster: ClusterSpec,
+    opts: ExecOptions,
+) -> f64 {
+    let mut cfg = TrainerConfig::new(engine, cluster);
+    cfg.opts = opts;
+    cfg.enforce_memory = false;
+    Trainer::prepare(ds, model, cfg).unwrap().simulate_epoch().epoch_seconds
+}
+
+/// Fig. 2(a): dense graphs favor DepComm, sparse graphs favor DepCache.
+#[test]
+fn fig2a_graph_inputs_flip_the_winner() {
+    let ecs = ClusterSpec::aliyun_ecs(8);
+    let raw = ExecOptions::none();
+
+    let google = load("google", 0.01);
+    let mg = gcn(&google, 256);
+    let g_cache = epoch_time(&google, &mg, EngineKind::DepCache, ecs.clone(), raw);
+    let g_comm = epoch_time(&google, &mg, EngineKind::DepComm, ecs.clone(), raw);
+    assert!(g_cache < g_comm, "google: DepCache must win ({g_cache} vs {g_comm})");
+
+    let reddit = load("reddit", 0.002);
+    let mr = gcn(&reddit, 256);
+    let r_cache = epoch_time(&reddit, &mr, EngineKind::DepCache, ecs.clone(), raw);
+    let r_comm = epoch_time(&reddit, &mr, EngineKind::DepComm, ecs, raw);
+    assert!(r_comm < r_cache, "reddit: DepComm must win ({r_comm} vs {r_cache})");
+}
+
+/// Fig. 2(b): widening the hidden layer pushes toward DepCache.
+#[test]
+fn fig2b_hidden_size_pushes_toward_depcache() {
+    let ecs = ClusterSpec::aliyun_ecs(8);
+    let raw = ExecOptions::none();
+    let google = load("google", 0.01);
+    let ratio = |hidden: usize| {
+        let m = gcn(&google, hidden);
+        epoch_time(&google, &m, EngineKind::DepComm, ecs.clone(), raw)
+            / epoch_time(&google, &m, EngineKind::DepCache, ecs.clone(), raw)
+    };
+    let narrow = ratio(64);
+    let wide = ratio(640);
+    assert!(
+        wide > narrow,
+        "wider hidden must favor DepCache more: {narrow} -> {wide}"
+    );
+}
+
+/// Fig. 2(c): a 100 Gb/s fabric flips Google from DepCache to DepComm.
+#[test]
+fn fig2c_fast_network_flips_to_depcomm() {
+    let raw = ExecOptions::none();
+    let google = load("google", 0.01);
+    let m = gcn(&google, 256);
+    let ecs_ratio = epoch_time(&google, &m, EngineKind::DepComm, ClusterSpec::aliyun_ecs(8), raw)
+        / epoch_time(&google, &m, EngineKind::DepCache, ClusterSpec::aliyun_ecs(8), raw);
+    let ibv_ratio = epoch_time(&google, &m, EngineKind::DepComm, ClusterSpec::ibv(8), raw)
+        / epoch_time(&google, &m, EngineKind::DepCache, ClusterSpec::ibv(8), raw);
+    assert!(ecs_ratio > 1.0, "ECS: DepCache wins ({ecs_ratio})");
+    assert!(ibv_ratio < 1.0, "IBV: DepComm wins ({ibv_ratio})");
+}
+
+/// Fig. 9: Hybrid is at least as fast as both pure engines, and each
+/// optimization (R, L, P) never hurts.
+#[test]
+fn fig9_hybrid_and_optimizations_stack() {
+    let ecs = ClusterSpec::aliyun_ecs(8);
+    let ds = load("pokec", 0.002);
+    let m = gcn(&ds, ds.hidden_dim);
+    let raw = ExecOptions::none();
+    let cache = epoch_time(&ds, &m, EngineKind::DepCache, ecs.clone(), raw);
+    let comm = epoch_time(&ds, &m, EngineKind::DepComm, ecs.clone(), raw);
+    let hybrid = epoch_time(&ds, &m, EngineKind::Hybrid, ecs.clone(), raw);
+    assert!(hybrid <= cache * 1.02, "hybrid {hybrid} vs cache {cache}");
+    assert!(hybrid <= comm * 1.02, "hybrid {hybrid} vs comm {comm}");
+
+    let r = epoch_time(
+        &ds, &m, EngineKind::Hybrid, ecs.clone(),
+        ExecOptions { ring: true, lock_free: false, overlap: false },
+    );
+    let rl = epoch_time(
+        &ds, &m, EngineKind::Hybrid, ecs.clone(),
+        ExecOptions { ring: true, lock_free: true, overlap: false },
+    );
+    let rlp = epoch_time(&ds, &m, EngineKind::Hybrid, ecs, ExecOptions::all());
+    assert!(r <= hybrid * 1.001, "ring should not hurt: {hybrid} -> {r}");
+    assert!(rl <= r * 1.001, "lock-free should not hurt: {r} -> {rl}");
+    assert!(rlp <= rl * 1.001, "overlap should not hurt: {rl} -> {rlp}");
+}
+
+/// §5.3/§5.5: ROC's whole-block communication loses to chunked DepComm
+/// and scales worse with cluster size.
+#[test]
+fn roc_like_loses_and_scales_poorly() {
+    let ds = load("pokec", 0.002);
+    let m = gcn(&ds, ds.hidden_dim);
+    let time_roc = |w: usize| {
+        let mut cfg = roc_like_config(ClusterSpec::aliyun_ecs(w));
+        cfg.enforce_memory = false;
+        Trainer::prepare(&ds, &m, cfg).unwrap().simulate_epoch().epoch_seconds
+    };
+    let time_nts = |w: usize| {
+        epoch_time(&ds, &m, EngineKind::Hybrid, ClusterSpec::aliyun_ecs(w), ExecOptions::all())
+    };
+    assert!(time_roc(4) > time_nts(4), "NTS must beat ROC at 4 workers");
+    // ROC gets *worse* beyond 4 nodes (whole blocks to more peers).
+    assert!(time_roc(16) > time_roc(4), "ROC must degrade from 4 to 16");
+    // NTS improves.
+    assert!(time_nts(16) < time_nts(4), "NTS must improve from 4 to 16");
+}
+
+/// Fig. 13: GPU-utilization ordering — DepCache > Hybrid > DepComm, and
+/// DistDGL below full-graph Hybrid.
+#[test]
+fn fig13_utilization_ordering() {
+    let ecs = ClusterSpec::aliyun_ecs(8);
+    let ds = load("orkut", 0.0008);
+    let m = gcn(&ds, ds.hidden_dim);
+    let util = |engine: EngineKind| {
+        let mut cfg = TrainerConfig::new(engine, ecs.clone());
+        cfg.enforce_memory = false;
+        Trainer::prepare(&ds, &m, cfg).unwrap().simulate_epoch().device_utilization
+    };
+    let cache = util(EngineKind::DepCache);
+    let comm = util(EngineKind::DepComm);
+    let hybrid = util(EngineKind::Hybrid);
+    assert!(cache > hybrid, "DepCache util {cache} must exceed Hybrid {hybrid}");
+    assert!(hybrid > comm, "Hybrid util {hybrid} must exceed DepComm {comm}");
+
+    let dgl = DistDglLike::new(&ds, &m, ecs, DistDglConfig::default()).train(1);
+    assert!(
+        dgl.device_utilization < cache,
+        "DistDGL util {} must be below DepCache {cache}",
+        dgl.device_utilization
+    );
+}
+
+/// Fig. 14: sampling's accuracy ceiling sits below full-graph training.
+#[test]
+fn fig14_sampling_accuracy_ceiling_is_lower() {
+    let ds = load("reddit", 0.0015);
+    let m = gcn(&ds, 64);
+    let full = TrainingSession::builder()
+        .engine(EngineKind::Hybrid)
+        .cluster(ClusterSpec::aliyun_ecs(4))
+        .without_memory_check()
+        .build(&ds, &m)
+        .unwrap()
+        .train(50)
+        .unwrap();
+    let full_best = full.epochs.iter().map(|e| e.test_acc).fold(0.0, f64::max);
+
+    let dgl = DistDglLike::new(
+        &ds,
+        &m,
+        ClusterSpec::aliyun_ecs(4),
+        DistDglConfig { fanouts: (3, 3), batch_size: 64, ..Default::default() },
+    )
+    .train(50);
+    let dgl_best = dgl.epochs.iter().map(|e| e.test_acc).fold(0.0, f64::max);
+    assert!(
+        full_best >= dgl_best,
+        "full-graph best {full_best} must be >= sampled best {dgl_best}"
+    );
+    assert!(full_best > 0.55, "full-graph training must learn ({full_best})");
+}
