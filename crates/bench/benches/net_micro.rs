@@ -66,7 +66,8 @@ fn bench_simulator(c: &mut Criterion) {
             let deps = prev[i].map(|t| vec![t]).unwrap_or_default();
             for k in 1..m {
                 let j = (i + k) % m;
-                sends[i][j] = Some(g.send(i, j, 200_000, deps.clone()));
+                let bytes = ns_net::fabric::ROWS_HEADER_BYTES + 200_000;
+                sends[i][j] = Some(g.send(i, j, bytes, deps.clone()));
             }
         }
         for i in 0..m {

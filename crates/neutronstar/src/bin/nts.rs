@@ -113,6 +113,14 @@ fn run(ra: &RunArgs, mode: Mode) {
     cfg.opts = ra.opts;
     cfg.lr = ra.lr;
     cfg.sync = ra.sync;
+    cfg.fault = match ra.fault_plan() {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    cfg.recovery = ra.recovery();
     let trainer = match neutronstar::runtime::Trainer::prepare(&dataset, &model, cfg) {
         Ok(t) => t,
         Err(e) => {
@@ -147,6 +155,12 @@ fn run(ra: &RunArgs, mode: Mode) {
                     report.sim.epoch_seconds,
                     report.simulated_seconds(ra.epochs)
                 );
+                for (worker, epoch, engine) in &report.recoveries {
+                    println!(
+                        "recovered: worker {worker} lost, rolled back to epoch \
+                         {epoch}, resumed on {engine}"
+                    );
+                }
                 if let Some(path) = &ra.save {
                     let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
                         eprintln!("error: cannot create {path}: {e}");

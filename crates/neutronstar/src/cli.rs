@@ -8,9 +8,10 @@ use std::collections::BTreeMap;
 
 use ns_gnn::ModelKind;
 use ns_graph::Partitioner;
+use ns_net::fault::{parse_fault, FaultPlan};
 use ns_net::{ClusterSpec, ExecOptions};
 use ns_runtime::exec::SyncMode;
-use ns_runtime::EngineKind;
+use ns_runtime::{EngineKind, RecoveryConfig};
 
 /// A parsed `nts` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +59,11 @@ pub struct RunArgs {
     pub seed: u64,
     /// Checkpoint output path (train only).
     pub save: Option<String>,
+    /// Raw `--fault` specs (repeatable), e.g. `kill:w2@e3`,
+    /// `drop:rows:0.01`, `straggle:w1:20`.
+    pub faults: Vec<String>,
+    /// Checkpoint cadence in epochs; 0 disables recovery.
+    pub checkpoint_every: usize,
 }
 
 impl Default for RunArgs {
@@ -77,6 +83,8 @@ impl Default for RunArgs {
             sync: SyncMode::AllReduce,
             seed: 42,
             save: None,
+            faults: Vec::new(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -90,6 +98,20 @@ impl RunArgs {
             "cpu" => Ok(ClusterSpec::cpu_single()),
             other => Err(format!("unknown cluster preset {other:?} (ecs|ibv|cpu)")),
         }
+    }
+
+    /// Compiles the `--fault` specs into a seeded [`FaultPlan`].
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default().with_seed(self.seed);
+        for spec in &self.faults {
+            plan.push_spec(spec)?;
+        }
+        Ok(plan)
+    }
+
+    /// The recovery policy implied by `--checkpoint-every`.
+    pub fn recovery(&self) -> RecoveryConfig {
+        RecoveryConfig::every(self.checkpoint_every)
     }
 }
 
@@ -117,6 +139,15 @@ OPTIONS (train/simulate/probe):
   --sync <allreduce|ps>   gradient synchronization
   --seed <n>              RNG seed (default 42)
   --save <path>           write trained checkpoint (train only)
+  --fault <spec>          inject a deterministic fault (repeatable):
+                            kill:w<id>@e<epoch>      crash a worker
+                            straggle:w<id>:<ms>      slow every send
+                            drop:<kind>:<p>          drop+retransmit
+                            delay:<kind>:<ms>        fixed extra latency
+                            dup:<kind>:<p>           duplicate messages
+                          <kind> is rows|grads|allreduce|control|any;
+                          drop/delay/dup accept @e<n> and @w<src>-w<dst>
+  --checkpoint-every <n>  checkpoint cadence; enables rollback recovery
   --no-ring --no-lockfree --no-overlap   disable optimizations
 ";
 
@@ -141,6 +172,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     let mut flags: BTreeMap<String, String> = BTreeMap::new();
     let mut switches: Vec<String> = Vec::new();
+    let mut faults: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let Some(key) = arg.strip_prefix("--") else {
@@ -148,6 +180,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         };
         if matches!(key, "no-ring" | "no-lockfree" | "no-overlap") {
             switches.push(key.to_string());
+        } else if key == "fault" {
+            // Repeatable: each occurrence adds one fault to the plan.
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            parse_fault(value)?; // validate eagerly for a good error
+            faults.push(value.clone());
         } else {
             let value = it
                 .next()
@@ -216,6 +255,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if let Some(v) = parse_flag_value(&flags, "save") {
         ra.save = Some(v.clone());
     }
+    if let Some(v) = parse_flag_value(&flags, "checkpoint-every") {
+        ra.checkpoint_every =
+            v.parse().map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
+    }
+    ra.faults = faults;
     for s in switches {
         match s.as_str() {
             "no-ring" => ra.opts.ring = false,
@@ -290,6 +334,28 @@ mod tests {
         assert!(parse(&args("train --model vae")).unwrap_err().contains("--model"));
         assert!(parse(&args("train --epochs")).unwrap_err().contains("needs a value"));
         assert!(parse(&args("train epochs 3")).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn fault_flag_is_repeatable() {
+        let cmd = parse(&args(
+            "train --fault kill:w2@e3 --fault drop:rows:0.01 --checkpoint-every 2 --seed 9",
+        ))
+        .unwrap();
+        let Command::Train(ra) = cmd else { panic!("expected train") };
+        assert_eq!(ra.faults, vec!["kill:w2@e3", "drop:rows:0.01"]);
+        assert_eq!(ra.checkpoint_every, 2);
+        let plan = ra.fault_plan().unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.kill_epoch(2), Some(3));
+        assert!(ra.recovery().enabled());
+    }
+
+    #[test]
+    fn bad_fault_spec_rejected_at_parse_time() {
+        let err = parse(&args("train --fault explode:w1")).unwrap_err();
+        assert!(err.contains("fault"), "{err}");
+        assert!(parse(&args("train --fault")).unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 
 use ns_gnn::GnnModel;
 use ns_graph::{Dataset, Partitioner};
+use ns_net::fault::FaultPlan;
 use ns_net::{ClusterSpec, ExecOptions};
-use ns_runtime::exec::{OptimizerKind, SyncMode};
+use ns_runtime::exec::{OptimizerKind, RecvConfig, SyncMode};
 use ns_runtime::trainer::{SimSummary, Trainer, TrainerConfig};
-use ns_runtime::{EngineKind, HybridConfig, RuntimeError, TrainingReport};
+use ns_runtime::{EngineKind, HybridConfig, RecoveryConfig, RuntimeError, TrainingReport};
 
 /// Builder for a [`TrainingSession`].
 ///
@@ -24,6 +25,9 @@ pub struct SessionBuilder {
     hybrid: HybridConfig,
     sync: SyncMode,
     enforce_memory: bool,
+    fault: FaultPlan,
+    recovery: RecoveryConfig,
+    recv: RecvConfig,
 }
 
 impl Default for SessionBuilder {
@@ -38,6 +42,9 @@ impl Default for SessionBuilder {
             hybrid: HybridConfig::default(),
             sync: SyncMode::AllReduce,
             enforce_memory: true,
+            fault: FaultPlan::default(),
+            recovery: RecoveryConfig::default(),
+            recv: RecvConfig::default(),
         }
     }
 }
@@ -99,6 +106,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Deterministic fault injection (default: no faults).
+    pub fn faults(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Checkpoint/rollback policy (default: disabled — a worker failure
+    /// surfaces as [`RuntimeError::WorkerFailed`]).
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Receive timeout/retry policy for the execution fabric.
+    pub fn recv_policy(mut self, recv: RecvConfig) -> Self {
+        self.recv = recv;
+        self
+    }
+
     /// Plans the session (partitioning, dependency decisions, memory
     /// validation, cost probing).
     pub fn build<'a>(
@@ -117,6 +143,9 @@ impl SessionBuilder {
             broadcast_full_partition: false,
             sync: self.sync,
             enforce_memory: self.enforce_memory,
+            fault: self.fault,
+            recovery: self.recovery,
+            recv: self.recv,
         };
         Ok(TrainingSession { trainer: Trainer::prepare(dataset, model, cfg)? })
     }
@@ -170,6 +199,23 @@ mod tests {
         let report = session.train(2).unwrap();
         assert_eq!(report.epochs.len(), 2);
         assert_eq!(report.engine, "DepComm");
+    }
+
+    #[test]
+    fn builder_wires_fault_and_recovery() {
+        let ds = by_name("cora").unwrap().materialize(0.2, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 1);
+        let session = TrainingSession::builder()
+            .engine(EngineKind::DepComm)
+            .cluster(ClusterSpec::aliyun_ecs(3))
+            .faults(FaultPlan::kill(2, 1))
+            .recovery(RecoveryConfig::every(1))
+            .build(&ds, &model)
+            .unwrap();
+        let report = session.train(3).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.recoveries.len(), 1);
     }
 
     #[test]

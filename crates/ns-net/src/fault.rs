@@ -1,0 +1,520 @@
+//! Deterministic fault injection for the fabric and the simulator.
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of everything that
+//! goes wrong during a run: workers that crash at a given epoch, stragglers
+//! that delay every message they send, and per-message drop / delay /
+//! duplicate faults selected at `(epoch, src, dst)` granularity. The same
+//! plan drives both the real [`fabric`](crate::fabric) (where a dropped
+//! message becomes a retransmission delay and a duplicate becomes a second
+//! physical delivery) and the [`sim`](crate::sim) event simulator (where
+//! the same fates become service-time inflation), so a failure scenario
+//! can be studied in modeled time and then executed for real.
+//!
+//! Every probabilistic decision is a pure function of
+//! `(plan seed, fault index, epoch, src, dst, seq)` — re-running a plan
+//! reproduces the exact same fault schedule, which is what makes the
+//! recovery-determinism tests possible.
+
+use crate::fabric::MessageKind;
+
+/// Which message kinds a selector applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindSel {
+    /// Forward dependency rows (`GetFromDepNbr`).
+    Rows,
+    /// Backward gradient rows (`PostToDepNbr`).
+    Grads,
+    /// Ring / parameter-server gradient chunks.
+    AllReduce,
+    /// Scalar control messages.
+    Control,
+    /// Every kind.
+    Any,
+}
+
+impl KindSel {
+    fn matches(self, kind: Option<&MessageKind>) -> bool {
+        let Some(kind) = kind else {
+            // The simulator meters bytes, not typed messages; kind-filtered
+            // faults apply to every modeled transfer there.
+            return true;
+        };
+        matches!(
+            (self, kind),
+            (KindSel::Any, _)
+                | (KindSel::Rows, MessageKind::Rows { .. })
+                | (KindSel::Grads, MessageKind::Grads { .. })
+                | (KindSel::AllReduce, MessageKind::AllReduce { .. })
+                | (KindSel::Control, MessageKind::Control(_))
+        )
+    }
+}
+
+/// Selects a subset of messages by kind, epoch, and channel endpoints.
+/// `None` fields match everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSel {
+    /// Message-kind filter.
+    pub kind: KindSel,
+    /// Restrict to one epoch.
+    pub epoch: Option<usize>,
+    /// Restrict to one sending worker.
+    pub src: Option<usize>,
+    /// Restrict to one receiving worker.
+    pub dst: Option<usize>,
+}
+
+impl MsgSel {
+    /// Selector matching every message.
+    pub fn any() -> Self {
+        Self { kind: KindSel::Any, epoch: None, src: None, dst: None }
+    }
+
+    fn matches(
+        &self,
+        epoch: usize,
+        src: usize,
+        dst: usize,
+        kind: Option<&MessageKind>,
+    ) -> bool {
+        self.kind.matches(kind)
+            && self.epoch.is_none_or(|e| e == epoch)
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Worker `worker` crashes at the top of epoch `epoch` (its endpoint is
+    /// dropped, cascading channel disconnects to every peer).
+    Kill {
+        /// Worker that dies.
+        worker: usize,
+        /// Epoch at which it dies, counted from the start of the run.
+        epoch: usize,
+    },
+    /// Every message `worker` sends is delayed by `delay_ms` — a fixed
+    /// slowdown modeling a degraded node.
+    Straggle {
+        /// The slow worker.
+        worker: usize,
+        /// Added delivery delay per message, milliseconds.
+        delay_ms: u64,
+    },
+    /// Each matching message is independently lost with probability `p`;
+    /// the fabric models loss + retransmission as a delivery delay of
+    /// [`FaultPlan::retransmit_ms`].
+    Drop {
+        /// Which messages are eligible.
+        sel: MsgSel,
+        /// Per-message loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Every matching message is delayed by `delay_ms`.
+    Delay {
+        /// Which messages are eligible.
+        sel: MsgSel,
+        /// Added delivery delay, milliseconds.
+        delay_ms: u64,
+    },
+    /// Each matching message is independently delivered twice with
+    /// probability `p`; receivers deduplicate by sequence number.
+    Duplicate {
+        /// Which messages are eligible.
+        sel: MsgSel,
+        /// Per-message duplication probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// What the fault plan decides for one send.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendFate {
+    /// Total injected delivery delay, milliseconds.
+    pub delay_ms: u64,
+    /// Deliver a second copy of the message.
+    pub duplicate: bool,
+}
+
+/// A seeded, declarative schedule of injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-message fault coins.
+    pub seed: u64,
+    /// Modeled retransmission delay applied to dropped messages,
+    /// milliseconds.
+    pub retransmit_ms: u64,
+    /// The injected faults.
+    pub faults: Vec<Fault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self { seed: 0, retransmit_ms: 20, faults: Vec::new() }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with a single worker crash.
+    pub fn kill(worker: usize, epoch: usize) -> Self {
+        Self::default().with_fault(Fault::Kill { worker, epoch })
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Sets the coin seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The epoch at which `worker` is scheduled to crash, if any.
+    pub fn kill_epoch(&self, worker: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Kill { worker: w, epoch } if *w == worker => Some(*epoch),
+            _ => None,
+        })
+    }
+
+    /// Removes a crash that has already fired, so a recovered run does not
+    /// re-kill the (renumbered) worker occupying the same slot. Worker ids
+    /// in the remaining faults refer to the *current* topology.
+    pub fn retire_kill(&mut self, worker: usize, epoch: usize) {
+        self.faults.retain(
+            |f| !matches!(f, Fault::Kill { worker: w, epoch: e } if *w == worker && *e == epoch),
+        );
+    }
+
+    /// Parses and appends a CLI fault spec. Formats:
+    ///
+    /// * `kill:w<id>@e<epoch>` — crash a worker,
+    /// * `straggle:w<id>:<ms>` — fixed per-message slowdown,
+    /// * `drop:<kind>:<p>[@e<n>][@w<src>-w<dst>]` — probabilistic loss,
+    /// * `delay:<kind>:<ms>[@e<n>][@w<src>-w<dst>]` — fixed delay,
+    /// * `dup:<kind>:<p>[@e<n>][@w<src>-w<dst>]` — probabilistic duplicate,
+    ///
+    /// where `<kind>` is `rows|grads|allreduce|control|any`.
+    pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
+        self.faults.push(parse_fault(spec)?);
+        Ok(())
+    }
+
+    /// Decides the fate of one send. `kind = None` (the simulator's
+    /// untyped transfers) matches every kind filter. Pure in
+    /// `(seed, epoch, src, dst, seq)`.
+    pub fn send_fate(
+        &self,
+        epoch: usize,
+        src: usize,
+        dst: usize,
+        kind: Option<&MessageKind>,
+        seq: u64,
+    ) -> SendFate {
+        let mut fate = SendFate::default();
+        if self.faults.is_empty() {
+            return fate;
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            match f {
+                Fault::Kill { .. } => {}
+                Fault::Straggle { worker, delay_ms } => {
+                    if *worker == src {
+                        fate.delay_ms += delay_ms;
+                    }
+                }
+                Fault::Drop { sel, p } => {
+                    if sel.matches(epoch, src, dst, kind)
+                        && self.coin(i, epoch, src, dst, seq) < *p
+                    {
+                        fate.delay_ms += self.retransmit_ms;
+                    }
+                }
+                Fault::Delay { sel, delay_ms } => {
+                    if sel.matches(epoch, src, dst, kind) {
+                        fate.delay_ms += delay_ms;
+                    }
+                }
+                Fault::Duplicate { sel, p } => {
+                    if sel.matches(epoch, src, dst, kind)
+                        && self.coin(i, epoch, src, dst, seq) < *p
+                    {
+                        fate.duplicate = true;
+                    }
+                }
+            }
+        }
+        fate
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for fault `idx` on one
+    /// message: an FNV-1a mix of the identifying tuple finalized with the
+    /// splitmix64 permutation.
+    fn coin(&self, idx: usize, epoch: usize, src: usize, dst: usize, seq: u64) -> f64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for v in [idx as u64, epoch as u64, src as u64, dst as u64, seq] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // splitmix64 finalizer.
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn parse_worker(s: &str) -> Result<usize, String> {
+    let digits = s
+        .strip_prefix('w')
+        .ok_or_else(|| format!("expected w<id>, got {s:?}"))?;
+    digits.parse().map_err(|_| format!("bad worker id {s:?}"))
+}
+
+fn parse_epoch(s: &str) -> Result<usize, String> {
+    let digits = s
+        .strip_prefix('e')
+        .ok_or_else(|| format!("expected e<epoch>, got {s:?}"))?;
+    digits.parse().map_err(|_| format!("bad epoch {s:?}"))
+}
+
+fn parse_ms(s: &str) -> Result<u64, String> {
+    let digits = s.strip_suffix("ms").unwrap_or(s);
+    digits.parse().map_err(|_| format!("bad millisecond value {s:?}"))
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|_| format!("bad probability {s:?}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_kind(s: &str) -> Result<KindSel, String> {
+    match s {
+        "rows" => Ok(KindSel::Rows),
+        "grads" => Ok(KindSel::Grads),
+        "allreduce" => Ok(KindSel::AllReduce),
+        "control" => Ok(KindSel::Control),
+        "any" | "*" => Ok(KindSel::Any),
+        other => Err(format!(
+            "unknown message kind {other:?} (rows|grads|allreduce|control|any)"
+        )),
+    }
+}
+
+/// Parses one CLI fault spec (see [`FaultPlan::push_spec`] for formats).
+pub fn parse_fault(spec: &str) -> Result<Fault, String> {
+    let (head, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("fault spec {spec:?}: expected <type>:<args>"))?;
+    match head {
+        "kill" => {
+            let (w, e) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("kill spec {rest:?}: expected w<id>@e<epoch>"))?;
+            Ok(Fault::Kill { worker: parse_worker(w)?, epoch: parse_epoch(e)? })
+        }
+        "straggle" => {
+            let (w, ms) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("straggle spec {rest:?}: expected w<id>:<ms>"))?;
+            Ok(Fault::Straggle { worker: parse_worker(w)?, delay_ms: parse_ms(ms)? })
+        }
+        "drop" | "delay" | "dup" => {
+            let (kind_s, rest2) = rest.split_once(':').ok_or_else(|| {
+                format!("{head} spec {rest:?}: expected <kind>:<value>[@...]")
+            })?;
+            let kind = parse_kind(kind_s)?;
+            let mut parts = rest2.split('@');
+            let value = parts
+                .next()
+                .ok_or_else(|| format!("{head} spec {rest:?}: missing value"))?;
+            let mut sel = MsgSel { kind, epoch: None, src: None, dst: None };
+            for q in parts {
+                if q.starts_with('e') {
+                    sel.epoch = Some(parse_epoch(q)?);
+                } else if let Some(ws) = q.strip_prefix('w') {
+                    let (s, d) = ws.split_once("-w").ok_or_else(|| {
+                        format!("qualifier {q:?}: expected w<src>-w<dst>")
+                    })?;
+                    sel.src =
+                        Some(s.parse().map_err(|_| format!("bad src worker {q:?}"))?);
+                    sel.dst =
+                        Some(d.parse().map_err(|_| format!("bad dst worker {q:?}"))?);
+                } else {
+                    return Err(format!("unknown qualifier {q:?} (e<n> or w<s>-w<d>)"));
+                }
+            }
+            Ok(match head {
+                "drop" => Fault::Drop { sel, p: parse_prob(value)? },
+                "dup" => Fault::Duplicate { sel, p: parse_prob(value)? },
+                _ => Fault::Delay { sel, delay_ms: parse_ms(value)? },
+            })
+        }
+        other => {
+            Err(format!("unknown fault type {other:?} (kill|straggle|drop|delay|dup)"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_benign() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.send_fate(0, 0, 1, None, 1), SendFate::default());
+        assert_eq!(plan.kill_epoch(0), None);
+    }
+
+    #[test]
+    fn kill_plan_targets_one_worker() {
+        let plan = FaultPlan::kill(2, 3);
+        assert_eq!(plan.kill_epoch(2), Some(3));
+        assert_eq!(plan.kill_epoch(1), None);
+        // A crash does not perturb message fates.
+        assert_eq!(plan.send_fate(3, 2, 0, None, 1), SendFate::default());
+    }
+
+    #[test]
+    fn retire_kill_removes_only_the_fired_crash() {
+        let mut plan = FaultPlan::kill(1, 2).with_fault(Fault::Kill { worker: 1, epoch: 5 });
+        plan.retire_kill(1, 2);
+        assert_eq!(plan.kill_epoch(1), Some(5));
+        plan.retire_kill(1, 5);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn straggler_delays_all_its_sends() {
+        let plan =
+            FaultPlan::default().with_fault(Fault::Straggle { worker: 1, delay_ms: 30 });
+        assert_eq!(plan.send_fate(0, 1, 0, None, 1).delay_ms, 30);
+        assert_eq!(plan.send_fate(0, 0, 1, None, 1).delay_ms, 0);
+    }
+
+    #[test]
+    fn drop_coin_is_deterministic_and_calibrated() {
+        let plan = FaultPlan::default()
+            .with_seed(7)
+            .with_fault(Fault::Drop { sel: MsgSel::any(), p: 0.25 });
+        let mut dropped = 0;
+        for seq in 1..=4000u64 {
+            let a = plan.send_fate(0, 0, 1, None, seq);
+            let b = plan.send_fate(0, 0, 1, None, seq);
+            assert_eq!(a, b, "fate must be deterministic");
+            if a.delay_ms > 0 {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "drop rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mk = |seed| {
+            FaultPlan::default()
+                .with_seed(seed)
+                .with_fault(Fault::Drop { sel: MsgSel::any(), p: 0.5 })
+        };
+        let (a, b) = (mk(1), mk(2));
+        let differs = (1..=64u64)
+            .any(|seq| a.send_fate(0, 0, 1, None, seq) != b.send_fate(0, 0, 1, None, seq));
+        assert!(differs);
+    }
+
+    #[test]
+    fn selector_scopes_epoch_and_channel() {
+        let sel = MsgSel { kind: KindSel::Any, epoch: Some(3), src: Some(0), dst: Some(2) };
+        let plan = FaultPlan::default().with_fault(Fault::Delay { sel, delay_ms: 10 });
+        assert_eq!(plan.send_fate(3, 0, 2, None, 1).delay_ms, 10);
+        assert_eq!(plan.send_fate(2, 0, 2, None, 1).delay_ms, 0);
+        assert_eq!(plan.send_fate(3, 1, 2, None, 1).delay_ms, 0);
+        assert_eq!(plan.send_fate(3, 0, 1, None, 1).delay_ms, 0);
+    }
+
+    #[test]
+    fn kind_selector_filters_typed_messages() {
+        let sel = MsgSel { kind: KindSel::Rows, epoch: None, src: None, dst: None };
+        let plan = FaultPlan::default().with_fault(Fault::Delay { sel, delay_ms: 10 });
+        let rows = MessageKind::Rows { layer: 0, ids: vec![1], cols: 1, data: vec![0.0] };
+        let ctl = MessageKind::Control(1.0);
+        assert_eq!(plan.send_fate(0, 0, 1, Some(&rows), 1).delay_ms, 10);
+        assert_eq!(plan.send_fate(0, 0, 1, Some(&ctl), 1).delay_ms, 0);
+        // Untyped (simulator) transfers match any kind filter.
+        assert_eq!(plan.send_fate(0, 0, 1, None, 1).delay_ms, 10);
+    }
+
+    #[test]
+    fn parses_issue_example_specs() {
+        assert_eq!(
+            parse_fault("kill:w2@e3").unwrap(),
+            Fault::Kill { worker: 2, epoch: 3 }
+        );
+        assert_eq!(
+            parse_fault("drop:rows:0.01").unwrap(),
+            Fault::Drop {
+                sel: MsgSel { kind: KindSel::Rows, epoch: None, src: None, dst: None },
+                p: 0.01
+            }
+        );
+        assert_eq!(
+            parse_fault("straggle:w1:25ms").unwrap(),
+            Fault::Straggle { worker: 1, delay_ms: 25 }
+        );
+        assert_eq!(
+            parse_fault("delay:any:15@e2@w0-w3").unwrap(),
+            Fault::Delay {
+                sel: MsgSel {
+                    kind: KindSel::Any,
+                    epoch: Some(2),
+                    src: Some(0),
+                    dst: Some(3)
+                },
+                delay_ms: 15
+            }
+        );
+        assert_eq!(
+            parse_fault("dup:allreduce:1.0").unwrap(),
+            Fault::Duplicate {
+                sel: MsgSel { kind: KindSel::AllReduce, epoch: None, src: None, dst: None },
+                p: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(parse_fault("kill").unwrap_err().contains("expected <type>"));
+        assert!(parse_fault("kill:2@3").unwrap_err().contains("w<id>"));
+        assert!(parse_fault("drop:rows:1.5").unwrap_err().contains("[0, 1]"));
+        assert!(parse_fault("drop:frames:0.1").unwrap_err().contains("unknown message kind"));
+        assert!(parse_fault("meteor:w0@e1").unwrap_err().contains("unknown fault type"));
+        assert!(parse_fault("drop:rows:0.1@x9").unwrap_err().contains("qualifier"));
+    }
+
+    #[test]
+    fn push_spec_accumulates() {
+        let mut plan = FaultPlan::default();
+        plan.push_spec("kill:w1@e2").unwrap();
+        plan.push_spec("drop:any:0.1").unwrap();
+        assert_eq!(plan.faults.len(), 2);
+        assert!(plan.push_spec("bogus").is_err());
+    }
+}

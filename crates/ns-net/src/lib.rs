@@ -20,12 +20,17 @@
 //!   gradient chunks, and all-reduce payloads between worker threads.
 //! * [`buffer`] — the lock-free position-indexed message buffer of §4.3,
 //!   plus a mutex-guarded variant used as the ablation baseline.
+//! * [`fault`] — deterministic, seeded fault injection (drops, delays,
+//!   duplicates, stragglers, worker kills) honored by both the fabric and
+//!   the simulator.
 
 pub mod buffer;
 pub mod cluster;
 pub mod fabric;
+pub mod fault;
 pub mod sim;
 
 pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
-pub use fabric::{Endpoint, Fabric, Message, MessageKind};
+pub use fabric::{Endpoint, Fabric, Message, MessageKind, NetError};
+pub use fault::{Fault, FaultPlan, KindSel, MsgSel, SendFate};
 pub use sim::{SimReport, TaskGraph, TaskId};

@@ -1,5 +1,27 @@
 //! Runtime error type.
 
+use ns_net::NetError;
+
+/// Why a worker failed mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The worker crashed (a [`FaultPlan`](ns_net::FaultPlan) kill, or any
+    /// early thread exit that dropped its endpoint).
+    Killed,
+    /// A fabric operation failed: the peer disconnected, timed out past
+    /// the retry budget, or broke protocol.
+    Net(NetError),
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Killed => write!(f, "worker crashed"),
+            FailureCause::Net(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// Errors surfaced by planning or training.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
@@ -16,6 +38,33 @@ pub enum RuntimeError {
     },
     /// Inconsistent configuration (e.g. zero workers, dims mismatch).
     InvalidConfig(String),
+    /// A worker died or wedged mid-training. All surviving worker threads
+    /// have been drained and joined before this is returned; with recovery
+    /// enabled the trainer catches it, rolls back to the last checkpoint,
+    /// and resumes on the survivors.
+    WorkerFailed {
+        /// The failed (or first-failed) worker.
+        worker: usize,
+        /// Epoch the failure occurred in, counted from the start of the
+        /// run.
+        epoch: usize,
+        /// Root cause.
+        cause: FailureCause,
+    },
+    /// Gradient synchronization (all-reduce / parameter-server) timed out
+    /// past the retry budget — the signature of a wedged (not dead) peer.
+    SyncTimeout {
+        /// The worker whose sync stalled.
+        worker: usize,
+        /// Epoch of the stall.
+        epoch: usize,
+        /// The peer that never answered.
+        peer: usize,
+        /// Total milliseconds waited across retries.
+        waited_ms: u64,
+    },
+    /// A checkpoint could not be restored during recovery.
+    CheckpointCorrupt(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -28,6 +77,17 @@ impl std::fmt::Display for RuntimeError {
                 *limit_bytes as f64 / (1u64 << 30) as f64,
             ),
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RuntimeError::WorkerFailed { worker, epoch, cause } => {
+                write!(f, "worker {worker} failed at epoch {epoch}: {cause}")
+            }
+            RuntimeError::SyncTimeout { worker, epoch, peer, waited_ms } => write!(
+                f,
+                "worker {worker}: gradient sync with peer {peer} timed out at epoch \
+                 {epoch} after {waited_ms} ms"
+            ),
+            RuntimeError::CheckpointCorrupt(msg) => {
+                write!(f, "checkpoint restore failed: {msg}")
+            }
         }
     }
 }
@@ -51,5 +111,23 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("32.00 GiB"), "{s}");
         assert!(s.contains("16.00 GiB"), "{s}");
+    }
+
+    #[test]
+    fn failure_displays_name_the_culprit() {
+        let e = RuntimeError::WorkerFailed {
+            worker: 2,
+            epoch: 3,
+            cause: FailureCause::Net(NetError::PeerDisconnected { peer: 1 }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker 2"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+        assert!(s.contains("peer 1 disconnected"), "{s}");
+
+        let t = RuntimeError::SyncTimeout { worker: 0, epoch: 1, peer: 2, waited_ms: 1500 }
+            .to_string();
+        assert!(t.contains("peer 2"), "{t}");
+        assert!(t.contains("1500 ms"), "{t}");
     }
 }

@@ -10,17 +10,29 @@
 //! determinism). Parameter gradients are combined with a ring all-reduce
 //! and every worker applies an identical optimizer step, keeping the
 //! replicated parameter stores bitwise in sync.
+//!
+//! Failure semantics: workers never panic on fabric trouble. Every
+//! receive runs under a timeout with bounded exponential-backoff retries
+//! ([`RecvConfig`]); a dead, wedged, or protocol-desynced peer turns the
+//! worker's result into a typed failure, the coordinator drains and joins
+//! *all* threads (a failed worker drops its endpoint, which cascades
+//! disconnects through the mesh and unblocks every survivor), and the
+//! root-cause failure surfaces as
+//! [`RuntimeError::WorkerFailed`] / [`RuntimeError::SyncTimeout`].
+//! Deterministic fault injection and checkpoint-resume state ride in
+//! [`RunState`].
 
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ns_gnn::loss::{accuracy, softmax_cross_entropy};
 use ns_gnn::GnnModel;
 use ns_graph::Dataset;
-use ns_net::{Endpoint, Fabric, MessageKind};
-use ns_tensor::{Adam, Optimizer, Sgd, Tensor};
+use ns_net::fault::FaultPlan;
+use ns_net::{Endpoint, Fabric, Message, MessageKind, NetError};
+use ns_tensor::{Adam, AdamState, Optimizer, ParamStore, Sgd, Tensor};
 
-use crate::error::{Result, RuntimeError};
+use crate::error::{FailureCause, Result, RuntimeError};
 use crate::plan::WorkerPlan;
 
 /// Which optimizer each worker replica runs.
@@ -74,6 +86,43 @@ impl Default for ExecConfig {
     }
 }
 
+/// Receive timeout and retry policy. The first attempt waits
+/// `timeout_ms`; each of the `retries` further attempts doubles the wait
+/// (bounded exponential backoff), absorbing injected drop/retransmit
+/// delays and real straggler jitter before a peer is declared wedged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvConfig {
+    /// First receive window, milliseconds.
+    pub timeout_ms: u64,
+    /// Number of doubled-window retries after the first timeout.
+    pub retries: u32,
+}
+
+impl Default for RecvConfig {
+    fn default() -> Self {
+        Self { timeout_ms: 1_000, retries: 3 }
+    }
+}
+
+/// Cross-chunk execution state for fault-tolerant runs: where the run
+/// starts (after a checkpoint restore), the parameters and optimizer
+/// state to resume from, the fault plan to inject, and the receive
+/// policy. [`Default`] is a clean from-scratch, fault-free run.
+#[derive(Debug, Clone, Default)]
+pub struct RunState {
+    /// Absolute epoch the first executed epoch corresponds to (fault
+    /// plans and metrics are stamped with `epoch_offset + epoch`).
+    pub epoch_offset: usize,
+    /// Parameters to start from (`None` = the model's fresh store).
+    pub init_params: Option<ParamStore>,
+    /// Adam state to resume (`None` = fresh moments; ignored for SGD).
+    pub opt_state: Option<AdamState>,
+    /// Injected faults.
+    pub fault: FaultPlan,
+    /// Receive timeout/retry policy.
+    pub recv: RecvConfig,
+}
+
 /// Numeric results of one epoch, aggregated over workers.
 #[derive(Debug, Clone)]
 pub struct EpochMetrics {
@@ -95,6 +144,52 @@ struct WorkerReport {
     wall_s: f64,
 }
 
+/// A worker's typed mid-run failure (internal; the coordinator maps the
+/// root cause onto [`RuntimeError`]).
+#[derive(Debug, Clone)]
+struct WorkerFailure {
+    worker: usize,
+    epoch: usize,
+    cause: FailureCause,
+    in_sync: bool,
+}
+
+/// The per-worker optimizer, concrete so Adam state can be exported for
+/// checkpointing.
+enum Opt {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl Opt {
+    fn new(cfg: &ExecConfig, resume: Option<AdamState>) -> Self {
+        match cfg.optimizer {
+            OptimizerKind::Sgd => Opt::Sgd(Sgd::new(cfg.lr)),
+            OptimizerKind::Adam => {
+                let mut adam = Adam::new(cfg.lr);
+                if let Some(state) = resume {
+                    adam.import_state(state);
+                }
+                Opt::Adam(adam)
+            }
+        }
+    }
+
+    fn step(&mut self, store: &mut ParamStore, grads: &[Tensor]) {
+        match self {
+            Opt::Sgd(o) => o.step(store, grads),
+            Opt::Adam(o) => o.step(store, grads),
+        }
+    }
+
+    fn export(&self) -> Option<AdamState> {
+        match self {
+            Opt::Sgd(_) => None,
+            Opt::Adam(o) => Some(o.export_state()),
+        }
+    }
+}
+
 fn peer_order(me: usize, m: usize, ring: bool) -> Vec<usize> {
     if ring {
         (1..m).map(|k| (me + k) % m).collect()
@@ -103,12 +198,42 @@ fn peer_order(me: usize, m: usize, ring: bool) -> Vec<usize> {
     }
 }
 
+/// Receives from `src` under the timeout/retry policy: each timeout
+/// doubles the window until the retry budget is spent, then the
+/// accumulated [`NetError::RecvTimeout`] is returned.
+fn recv_retry(
+    ep: &Endpoint,
+    src: usize,
+    rc: &RecvConfig,
+) -> std::result::Result<Message, NetError> {
+    let mut wait = Duration::from_millis(rc.timeout_ms.max(1));
+    let mut waited_ms = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        match ep.recv_from_timeout(src, wait) {
+            Err(NetError::RecvTimeout { .. }) => {
+                waited_ms += wait.as_millis() as u64;
+                if attempt >= rc.retries {
+                    return Err(NetError::RecvTimeout { peer: src, waited_ms });
+                }
+                attempt += 1;
+                wait = wait.saturating_mul(2);
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Ring all-reduce over the flattened parameter gradients. All workers
 /// return identical sums (deterministic chunk-wise accumulation order).
-fn ring_allreduce(ep: &Endpoint, grads: &mut [Tensor]) {
+fn ring_allreduce(
+    ep: &Endpoint,
+    rc: &RecvConfig,
+    grads: &mut [Tensor],
+) -> std::result::Result<(), NetError> {
     let m = ep.world();
     if m == 1 {
-        return;
+        return Ok(());
     }
     let me = ep.id();
     let right = (me + 1) % m;
@@ -132,10 +257,11 @@ fn ring_allreduce(ep: &Endpoint, grads: &mut [Tensor]) {
     for s in 0..m - 1 {
         let send_c = (me + m - s) % m;
         let recv_c = (me + m - s - 1) % m;
-        ep.send(right, MessageKind::AllReduce { round: s as u32, data: slice(&flat, send_c) });
-        let msg = ep.recv_from(left);
+        ep.send(right, MessageKind::AllReduce { round: s as u32, data: slice(&flat, send_c) })?;
+        let msg = recv_retry(ep, left, rc)?;
+        let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
-            panic!("unexpected message during all-reduce");
+            return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
         };
         let (lo, hi) = chunk_bounds[recv_c];
         for (dst, src) in flat[lo..hi].iter_mut().zip(data.iter()) {
@@ -149,10 +275,11 @@ fn ring_allreduce(ep: &Endpoint, grads: &mut [Tensor]) {
         ep.send(
             right,
             MessageKind::AllReduce { round: (m - 1 + s) as u32, data: slice(&flat, send_c) },
-        );
-        let msg = ep.recv_from(left);
+        )?;
+        let msg = recv_retry(ep, left, rc)?;
+        let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
-            panic!("unexpected message during all-gather");
+            return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
         };
         let (lo, hi) = chunk_bounds[recv_c];
         flat[lo..hi].copy_from_slice(&data);
@@ -164,16 +291,21 @@ fn ring_allreduce(ep: &Endpoint, grads: &mut [Tensor]) {
         g.data_mut().copy_from_slice(&flat[off..off + len]);
         off += len;
     }
+    Ok(())
 }
 
 /// Parameter-server gradient combination: every worker pushes its full
 /// gradient vector to worker 0, which reduces in ascending worker order
 /// (deterministic) and broadcasts the sum. All workers end with
 /// identical gradients, exactly as [`ring_allreduce`] produces.
-fn ps_reduce(ep: &Endpoint, grads: &mut [Tensor]) {
+fn ps_reduce(
+    ep: &Endpoint,
+    rc: &RecvConfig,
+    grads: &mut [Tensor],
+) -> std::result::Result<(), NetError> {
     let m = ep.world();
     if m == 1 {
-        return;
+        return Ok(());
     }
     let me = ep.id();
     let mut flat: Vec<f32> = Vec::new();
@@ -182,22 +314,24 @@ fn ps_reduce(ep: &Endpoint, grads: &mut [Tensor]) {
     }
     if me == 0 {
         for src in 1..m {
-            let msg = ep.recv_from(src);
+            let msg = recv_retry(ep, src, rc)?;
+            let got = msg.kind.name();
             let MessageKind::AllReduce { data, .. } = msg.kind else {
-                panic!("unexpected message during ps push");
+                return Err(NetError::UnexpectedKind { peer: src, expected: "AllReduce", got });
             };
             for (a, b) in flat.iter_mut().zip(data.iter()) {
                 *a += b;
             }
         }
         for dst in 1..m {
-            ep.send(dst, MessageKind::AllReduce { round: 1, data: flat.clone() });
+            ep.send(dst, MessageKind::AllReduce { round: 1, data: flat.clone() })?;
         }
     } else {
-        ep.send(0, MessageKind::AllReduce { round: 0, data: flat.clone() });
-        let msg = ep.recv_from(0);
+        ep.send(0, MessageKind::AllReduce { round: 0, data: flat.clone() })?;
+        let msg = recv_retry(ep, 0, rc)?;
+        let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
-            panic!("unexpected message during ps pull");
+            return Err(NetError::UnexpectedKind { peer: 0, expected: "AllReduce", got });
         };
         flat = data;
     }
@@ -207,9 +341,13 @@ fn ps_reduce(ep: &Endpoint, grads: &mut [Tensor]) {
         g.data_mut().copy_from_slice(&flat[off..off + len]);
         off += len;
     }
+    Ok(())
 }
 
-/// One worker's training loop over all epochs.
+/// One worker's training loop over all epochs. Returns the trained
+/// replica and exported optimizer state, or the worker's typed failure.
+/// Either way the endpoint is dropped on exit, so peers blocked on this
+/// worker wake with `PeerDisconnected` instead of hanging.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     plan: &WorkerPlan,
@@ -218,24 +356,20 @@ fn worker_loop(
     ep: Endpoint,
     epochs: usize,
     cfg: &ExecConfig,
+    run: &RunState,
     tx: mpsc::Sender<(usize, usize, WorkerReport)>, // (epoch, worker, report)
-) -> ns_tensor::ParamStore {
+) -> std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure> {
     let m = ep.world();
     let me = ep.id();
     let dims = model.dims();
     let num_layers = model.num_layers();
-    let mut store = model.fresh_store();
-    let mut opt_sgd;
-    let mut opt_adam;
-    let opt: &mut dyn Optimizer = match cfg.optimizer {
-        OptimizerKind::Sgd => {
-            opt_sgd = Sgd::new(cfg.lr);
-            &mut opt_sgd
-        }
-        OptimizerKind::Adam => {
-            opt_adam = Adam::new(cfg.lr);
-            &mut opt_adam
-        }
+    let mut store = run.init_params.clone().unwrap_or_else(|| model.fresh_store());
+    let mut opt = Opt::new(cfg, run.opt_state.clone());
+    let fail = |epoch: usize, in_sync: bool, e: NetError| WorkerFailure {
+        worker: me,
+        epoch,
+        cause: FailureCause::Net(e),
+        in_sync,
     };
 
     // Local feature matrix (owned rows + prefetched cached features —
@@ -258,6 +392,18 @@ fn worker_loop(
     ];
 
     for epoch in 0..epochs {
+        let abs_epoch = run.epoch_offset + epoch;
+        ep.set_epoch(abs_epoch);
+        if run.fault.kill_epoch(me) == Some(abs_epoch) {
+            // Injected crash: return without sending anything this epoch.
+            // Dropping the endpoint disconnects every peer channel.
+            return Err(WorkerFailure {
+                worker: me,
+                epoch: abs_epoch,
+                cause: FailureCause::Killed,
+                in_sync: false,
+            });
+        }
         let t0 = Instant::now();
         // ---- forward ----
         let mut runs = Vec::with_capacity(num_layers);
@@ -278,7 +424,8 @@ fn worker_loop(
                         cols: rows.cols() as u32,
                         data: rows.into_vec(),
                     },
-                );
+                )
+                .map_err(|e| fail(abs_epoch, false, e))?;
             }
             // Assemble the layer-input matrix.
             let d_in = dims[lz];
@@ -292,9 +439,15 @@ fn worker_loop(
                 if lp.recv_ids[j].is_empty() {
                     continue;
                 }
-                let msg = ep.recv_from(j);
+                let msg =
+                    recv_retry(&ep, j, &run.recv).map_err(|e| fail(abs_epoch, false, e))?;
+                let got = msg.kind.name();
                 let MessageKind::Rows { layer, ids, cols, data } = msg.kind else {
-                    panic!("worker {me}: expected Rows from {j}");
+                    return Err(fail(
+                        abs_epoch,
+                        false,
+                        NetError::UnexpectedKind { peer: j, expected: "Rows", got },
+                    ));
                 };
                 assert_eq!(layer as usize, lz, "layer mismatch");
                 assert_eq!(cols as usize, d_in, "width mismatch");
@@ -305,9 +458,9 @@ fn worker_loop(
                         .copy_from_slice(&data[k * d_in..(k + 1) * d_in]);
                 }
             }
-            let run = model.layer(lz).forward(&store, &lp.topo, input);
-            prev = run.output().clone();
-            runs.push(run);
+            let run_seg = model.layer(lz).forward(&store, &lp.topo, input);
+            prev = run_seg.output().clone();
+            runs.push(run_seg);
         }
 
         // ---- prediction head ----
@@ -323,8 +476,8 @@ fn worker_loop(
         let mut grads = store.zero_grads();
         let mut g = head.logit_grad;
         for lz in (0..num_layers).rev() {
-            let run = runs.pop().expect("one run per layer");
-            let (input_grad, _) = run.backward(g, &mut grads);
+            let run_seg = runs.pop().expect("one run per layer");
+            let (input_grad, _) = run_seg.backward(g, &mut grads);
             let lp = &plan.layers[lz];
             if lz == 0 {
                 // Feature gradients are not propagated anywhere.
@@ -345,7 +498,8 @@ fn worker_loop(
                         cols: d as u32,
                         data: rows.into_vec(),
                     },
-                );
+                )
+                .map_err(|e| fail(abs_epoch, false, e))?;
             }
             // Route local rows into the previous layer's output gradient.
             let prev_rows = plan.layers[lz - 1].compute.len();
@@ -362,9 +516,15 @@ fn worker_loop(
                 if lp.send_ids[j].is_empty() {
                     continue;
                 }
-                let msg = ep.recv_from(j);
+                let msg =
+                    recv_retry(&ep, j, &run.recv).map_err(|e| fail(abs_epoch, false, e))?;
+                let got = msg.kind.name();
                 let MessageKind::Grads { layer, ids, cols, data } = msg.kind else {
-                    panic!("worker {me}: expected Grads from {j}");
+                    return Err(fail(
+                        abs_epoch,
+                        false,
+                        NetError::UnexpectedKind { peer: j, expected: "Grads", got },
+                    ));
                 };
                 assert_eq!(layer as usize, lz);
                 assert_eq!(cols as usize, d);
@@ -381,9 +541,10 @@ fn worker_loop(
 
         // ---- parameter update ----
         match cfg.sync {
-            SyncMode::AllReduce => ring_allreduce(&ep, &mut grads),
-            SyncMode::ParameterServer => ps_reduce(&ep, &mut grads),
+            SyncMode::AllReduce => ring_allreduce(&ep, &run.recv, &mut grads),
+            SyncMode::ParameterServer => ps_reduce(&ep, &run.recv, &mut grads),
         }
+        .map_err(|e| fail(abs_epoch, true, e))?;
         opt.step(&mut store, &grads);
 
         let report = WorkerReport {
@@ -391,9 +552,21 @@ fn worker_loop(
             counts,
             wall_s: t0.elapsed().as_secs_f64(),
         };
-        tx.send((epoch, me, report)).expect("metrics channel closed");
+        // The coordinator holds the receiver for the whole scope; a send
+        // can only fail after a coordinator bug, and metric loss is not
+        // worth crashing a worker over.
+        let _ = tx.send((epoch, me, report));
     }
-    store
+    Ok((store, opt.export()))
+}
+
+/// Picks the root-cause failure: earliest epoch first, injected kills
+/// before the cascade errors they caused, lowest worker id as the final
+/// tie-break.
+fn root_failure(failures: &[WorkerFailure]) -> Option<&WorkerFailure> {
+    failures.iter().min_by_key(|f| {
+        (f.epoch, matches!(f.cause, FailureCause::Net(_)) as u8, f.worker)
+    })
 }
 
 /// Trains `epochs` epochs of `model` on `dataset` under `plans`,
@@ -406,7 +579,28 @@ pub fn train_epochs(
     plans: &[WorkerPlan],
     epochs: usize,
     cfg: &ExecConfig,
-) -> Result<(Vec<EpochMetrics>, ns_tensor::ParamStore)> {
+) -> Result<(Vec<EpochMetrics>, ParamStore)> {
+    let (metrics, store, _) =
+        train_epochs_run(dataset, model, plans, epochs, cfg, &RunState::default())?;
+    Ok((metrics, store))
+}
+
+/// [`train_epochs`] with explicit cross-chunk [`RunState`]: resume
+/// parameters / optimizer state, an epoch offset, injected faults, and
+/// the receive policy. Also returns the exported optimizer state so the
+/// recovery loop can checkpoint it.
+///
+/// On failure, every worker thread has been joined before the error is
+/// returned; partially-completed epoch metrics are discarded (the caller
+/// rolls back to its last checkpoint).
+pub fn train_epochs_run(
+    dataset: &Dataset,
+    model: &GnnModel,
+    plans: &[WorkerPlan],
+    epochs: usize,
+    cfg: &ExecConfig,
+    run: &RunState,
+) -> Result<(Vec<EpochMetrics>, ParamStore, Option<AdamState>)> {
     let m = plans.len();
     if m == 0 {
         return Err(RuntimeError::InvalidConfig("no worker plans".into()));
@@ -418,20 +612,52 @@ pub fn train_epochs(
             dataset.feature_dim()
         )));
     }
-    let endpoints = Fabric::new(m).into_endpoints();
+    let endpoints = Fabric::with_faults(m, run.fault.clone()).into_endpoints();
     let (tx, rx) = mpsc::channel();
 
     crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
         for (plan, ep) in plans.iter().zip(endpoints) {
             let tx = tx.clone();
-            handles.push(s.spawn(move |_| worker_loop(plan, model, dataset, ep, epochs, cfg, tx)));
+            handles.push(
+                s.spawn(move |_| worker_loop(plan, model, dataset, ep, epochs, cfg, run, tx)),
+            );
         }
         drop(tx);
-        // Aggregate metrics on the coordinating thread.
+        // Aggregate metrics on the coordinating thread. The loop ends when
+        // every worker has exited (each drops its sender on return, clean
+        // or failed), so this cannot hang on a dead worker.
         let mut per_epoch: Vec<Vec<WorkerReport>> = (0..epochs).map(|_| Vec::new()).collect();
         while let Ok((epoch, _worker, report)) = rx.recv() {
             per_epoch[epoch].push(report);
+        }
+        // Join everyone and split results from failures.
+        let mut results = Vec::new();
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+        for h in handles {
+            match h.join().expect("worker thread panicked") {
+                Ok(out) => results.push(out),
+                Err(f) => failures.push(f),
+            }
+        }
+        if let Some(root) = root_failure(&failures) {
+            return Err(match &root.cause {
+                FailureCause::Net(NetError::RecvTimeout { peer, waited_ms })
+                    if root.in_sync =>
+                {
+                    RuntimeError::SyncTimeout {
+                        worker: root.worker,
+                        epoch: root.epoch,
+                        peer: *peer,
+                        waited_ms: *waited_ms,
+                    }
+                }
+                cause => RuntimeError::WorkerFailed {
+                    worker: root.worker,
+                    epoch: root.epoch,
+                    cause: cause.clone(),
+                },
+            });
         }
         let metrics = per_epoch
             .into_iter()
@@ -456,15 +682,10 @@ pub fn train_epochs(
                 }
             })
             .collect();
-        let store = handles
-            .into_iter()
-            .next()
-            .expect("at least one worker")
-            .join()
-            .expect("worker 0 panicked");
-        Ok((metrics, store))
+        let (store, opt_state) = results.into_iter().next().expect("at least one worker");
+        Ok((metrics, store, opt_state))
     })
-    .expect("worker thread panicked")
+    .expect("worker scope panicked")
 }
 
 #[cfg(test)]
@@ -474,6 +695,7 @@ mod tests {
     use ns_gnn::{GnnModel, ModelKind};
     use ns_graph::datasets::by_name;
     use ns_graph::Partitioner;
+    use ns_net::fault::{Fault, MsgSel};
 
     fn small_dataset() -> Dataset {
         by_name("cora").unwrap().materialize(0.2, 7)
@@ -589,5 +811,102 @@ mod tests {
         let model = GnnModel::two_layer(ModelKind::Gcn, 99, 16, ds.num_classes, 3);
         let err = train_epochs(&ds, &model, &plans, 1, &ExecConfig::default());
         assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    fn plans_for(ds: &Dataset, parts: usize) -> Vec<WorkerPlan> {
+        let part = Partitioner::Chunk.partition(&ds.graph, parts);
+        build_plans(&ds.graph, &part, 2, &DepDecision::CommAll).unwrap()
+    }
+
+    #[test]
+    fn injected_kill_fails_fast_with_all_threads_joined() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let run = RunState { fault: FaultPlan::kill(1, 1), ..Default::default() };
+        let t0 = Instant::now();
+        let err = train_epochs_run(&ds, &model, &plans, 4, &ExecConfig::default(), &run)
+            .unwrap_err();
+        // train_epochs_run returning at all proves every thread joined
+        // (the crossbeam scope cannot exit otherwise).
+        assert!(
+            matches!(
+                err,
+                RuntimeError::WorkerFailed { worker: 1, epoch: 1, cause: FailureCause::Killed }
+            ),
+            "unexpected error: {err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(30), "kill must not hang");
+    }
+
+    #[test]
+    fn transient_drops_do_not_change_numerics() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let clean =
+            train_epochs(&ds, &model, &plans, 2, &ExecConfig::default()).unwrap().0;
+        let faulty_plan = FaultPlan::default()
+            .with_seed(11)
+            .with_fault(Fault::Drop { sel: MsgSel::any(), p: 0.15 });
+        let run = RunState { fault: faulty_plan, ..Default::default() };
+        let (faulty, _, _) =
+            train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run).unwrap();
+        for (a, b) in clean.iter().zip(faulty.iter()) {
+            // Drops only delay delivery; content and order are untouched,
+            // so the trajectory is identical.
+            assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_transparently() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let clean =
+            train_epochs(&ds, &model, &plans, 2, &ExecConfig::default()).unwrap().0;
+        let run = RunState {
+            fault: FaultPlan::default()
+                .with_fault(Fault::Duplicate { sel: MsgSel::any(), p: 1.0 }),
+            ..Default::default()
+        };
+        let (faulty, _, _) =
+            train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run).unwrap();
+        for (a, b) in clean.iter().zip(faulty.iter()) {
+            assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn resumed_run_state_matches_uninterrupted_run() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let cfg = ExecConfig::default(); // Adam: state must carry over.
+        let (full, full_store, _) =
+            train_epochs_run(&ds, &model, &plans, 4, &cfg, &RunState::default()).unwrap();
+        let (head, mid_store, mid_opt) =
+            train_epochs_run(&ds, &model, &plans, 2, &cfg, &RunState::default()).unwrap();
+        let resume = RunState {
+            epoch_offset: 2,
+            init_params: Some(mid_store),
+            opt_state: mid_opt,
+            ..Default::default()
+        };
+        let (tail, tail_store, _) =
+            train_epochs_run(&ds, &model, &plans, 2, &cfg, &resume).unwrap();
+        let joined: Vec<&EpochMetrics> = head.iter().chain(tail.iter()).collect();
+        assert_eq!(joined.len(), full.len());
+        for (a, b) in full.iter().zip(joined) {
+            assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+        for ((_, _, a), (_, _, b)) in full_store.iter().zip(tail_store.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0, "chunked run must be bit-identical");
+        }
     }
 }

@@ -30,9 +30,12 @@ pub mod exec;
 pub mod hybrid;
 pub mod memory;
 pub mod plan;
+pub mod recovery;
 pub mod taskgraph;
 pub mod trainer;
 
-pub use error::RuntimeError;
+pub use error::{FailureCause, RuntimeError};
+pub use exec::{RecvConfig, RunState};
 pub use hybrid::HybridConfig;
+pub use recovery::{Checkpoint, RecoveryConfig};
 pub use trainer::{EngineKind, EpochStats, Trainer, TrainerConfig, TrainingReport};

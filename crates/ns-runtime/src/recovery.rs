@@ -1,0 +1,157 @@
+//! Checkpoint-based epoch recovery for the fault-tolerant trainer.
+//!
+//! The trainer runs the epoch loop in *chunks* of `checkpoint_every`
+//! epochs. After every successful chunk it captures a [`Checkpoint`]:
+//! the parameter store serialized through the real on-disk checkpoint
+//! format (`ns_tensor::checkpoint`, magic `NTSCKPT1`) plus the exported
+//! Adam state. When a chunk fails with
+//! [`RuntimeError::WorkerFailed`](crate::error::RuntimeError), the
+//! trainer restores the last checkpoint, drops the dead worker,
+//! repartitions the plan over the survivors, and resumes from the
+//! checkpointed epoch — replaying at most `checkpoint_every - 1` epochs
+//! of lost work. Serializing through the real format (rather than just
+//! cloning the store) keeps the recovery path honest: whatever a
+//! process-level restart would read back from disk is exactly what the
+//! in-memory rollback uses.
+
+use std::io;
+
+use ns_tensor::checkpoint;
+use ns_tensor::{AdamState, ParamStore};
+
+/// Recovery policy for [`Trainer::train`](crate::trainer::Trainer::train).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Checkpoint cadence in epochs. `0` disables recovery entirely:
+    /// a worker failure then surfaces as an error from `train`.
+    pub checkpoint_every: usize,
+    /// Maximum number of rollback-and-resume attempts before the
+    /// failure is surfaced anyway.
+    pub max_restarts: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { checkpoint_every: 0, max_restarts: 2 }
+    }
+}
+
+impl RecoveryConfig {
+    /// Recovery with a checkpoint every `n` epochs (and default restart
+    /// budget). `every(0)` keeps recovery disabled.
+    pub fn every(n: usize) -> Self {
+        Self { checkpoint_every: n, ..Self::default() }
+    }
+
+    /// Whether checkpointing (and therefore rollback) is active.
+    pub fn enabled(&self) -> bool {
+        self.checkpoint_every > 0
+    }
+}
+
+/// A recovery point: the next epoch to run plus everything needed to
+/// restart training from it deterministically.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// First epoch that still needs to run when resuming from here.
+    pub next_epoch: usize,
+    /// Parameter store in the `NTSCKPT1` wire format; empty means
+    /// "initial parameters" (train from the model's fresh store).
+    bytes: Vec<u8>,
+    /// Optimizer state at the boundary (`None` for SGD or epoch 0).
+    opt: Option<AdamState>,
+}
+
+impl Checkpoint {
+    /// The implicit checkpoint before epoch 0: fresh parameters, fresh
+    /// optimizer.
+    pub fn initial() -> Self {
+        Self { next_epoch: 0, bytes: Vec::new(), opt: None }
+    }
+
+    /// Captures a checkpoint after the epoch `next_epoch - 1` completed.
+    pub fn capture(next_epoch: usize, store: &ParamStore, opt: Option<AdamState>) -> Self {
+        let mut bytes = Vec::new();
+        checkpoint::save(store, &mut bytes).expect("Vec<u8> writes are infallible");
+        Self { next_epoch, bytes, opt }
+    }
+
+    /// Deserializes the recovery point. `Ok((None, None))` means resume
+    /// from initial state.
+    #[allow(clippy::type_complexity)]
+    pub fn restore(&self) -> io::Result<(Option<ParamStore>, Option<AdamState>)> {
+        if self.bytes.is_empty() {
+            return Ok((None, None));
+        }
+        let store = checkpoint::load(&mut self.bytes.as_slice())?;
+        Ok((Some(store), self.opt.clone()))
+    }
+
+    /// Serialized size of the parameter snapshot, bytes.
+    pub fn param_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_tensor::Tensor;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::from_vec(2, 2, vec![1.0, -2.5, 3.25, 0.125]));
+        s.register("b", Tensor::from_vec(1, 2, vec![0.5, -0.5]));
+        s
+    }
+
+    #[test]
+    fn initial_checkpoint_restores_to_nothing() {
+        let ckpt = Checkpoint::initial();
+        assert_eq!(ckpt.next_epoch, 0);
+        assert_eq!(ckpt.param_bytes(), 0);
+        let (store, opt) = ckpt.restore().unwrap();
+        assert!(store.is_none());
+        assert!(opt.is_none());
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_params_and_opt_state() {
+        let store = sample_store();
+        let opt = AdamState {
+            t: 7,
+            m: vec![Tensor::zeros(2, 2), Tensor::zeros(1, 2)],
+            v: vec![Tensor::from_vec(2, 2, vec![0.1; 4]), Tensor::zeros(1, 2)],
+        };
+        let ckpt = Checkpoint::capture(5, &store, Some(opt.clone()));
+        assert_eq!(ckpt.next_epoch, 5);
+        assert!(ckpt.param_bytes() > 0);
+        let (restored, ropt) = ckpt.restore().unwrap();
+        let restored = restored.unwrap();
+        assert_eq!(restored.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(restored.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1.data(), v2.data());
+        }
+        assert_eq!(ropt, Some(opt));
+    }
+
+    #[test]
+    fn corrupted_bytes_surface_io_error_not_panic() {
+        let store = sample_store();
+        let mut ckpt = Checkpoint::capture(3, &store, None);
+        ckpt.bytes[0] = b'X'; // break the magic
+        assert!(ckpt.restore().is_err());
+        let mut truncated = Checkpoint::capture(3, &store, None);
+        truncated.bytes.truncate(truncated.bytes.len() / 2);
+        assert!(truncated.restore().is_err());
+    }
+
+    #[test]
+    fn config_enabled_logic() {
+        assert!(!RecoveryConfig::default().enabled());
+        assert!(!RecoveryConfig::every(0).enabled());
+        assert!(RecoveryConfig::every(3).enabled());
+        assert_eq!(RecoveryConfig::every(3).max_restarts, 2);
+    }
+}

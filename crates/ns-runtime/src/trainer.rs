@@ -3,15 +3,20 @@
 
 use ns_gnn::GnnModel;
 use ns_graph::{Dataset, Partitioner};
+use ns_net::fault::FaultPlan;
 use ns_net::sim::{simulate, ResourceKind, SimReport};
 use ns_net::{ClusterSpec, ExecOptions};
+use ns_tensor::ParamStore;
 
 use crate::cost::{probe, CostFactors};
 use crate::error::{Result, RuntimeError};
-use crate::exec::{train_epochs, ExecConfig, OptimizerKind, SyncMode};
+use crate::exec::{
+    train_epochs_run, EpochMetrics, ExecConfig, OptimizerKind, RecvConfig, RunState, SyncMode,
+};
 use crate::hybrid::{partition_dependencies, HybridConfig, HybridInfo};
 use crate::memory::check_device_fit;
 use crate::plan::{build_plans, DepDecision, WorkerPlan};
+use crate::recovery::{Checkpoint, RecoveryConfig};
 use crate::taskgraph::{build_epoch_task_graph, TgConfig};
 
 /// Which dependency-management engine to run.
@@ -60,6 +65,12 @@ pub struct TrainerConfig {
     /// Enforce the projected device-memory check (on by default; the
     /// engine-equivalence tests disable it to run any engine anywhere).
     pub enforce_memory: bool,
+    /// Deterministic fault injection (empty by default).
+    pub fault: FaultPlan,
+    /// Checkpoint/rollback policy (disabled by default).
+    pub recovery: RecoveryConfig,
+    /// Receive timeout/retry policy for the execution fabric.
+    pub recv: RecvConfig,
 }
 
 impl TrainerConfig {
@@ -76,6 +87,9 @@ impl TrainerConfig {
             broadcast_full_partition: false,
             sync: SyncMode::AllReduce,
             enforce_memory: true,
+            fault: FaultPlan::default(),
+            recovery: RecoveryConfig::default(),
+            recv: RecvConfig::default(),
         }
     }
 }
@@ -150,6 +164,10 @@ pub struct TrainingReport {
     /// Trained parameters (identical on every worker after the final
     /// synchronized step). Checkpoint with `ns_tensor::checkpoint::save`.
     pub final_params: ns_tensor::ParamStore,
+    /// Recovery events: `(failed_worker, rollback_epoch, engine_after)`
+    /// for every rollback-and-resume the run performed. Empty for clean
+    /// runs and for runs without recovery enabled.
+    pub recoveries: Vec<(usize, usize, String)>,
 }
 
 impl TrainingReport {
@@ -167,6 +185,112 @@ impl TrainingReport {
     pub fn final_loss(&self) -> f64 {
         self.epochs.last().map_or(f64::NAN, |e| e.loss)
     }
+}
+
+/// Compiles per-worker plans for `engine` over `workers` partitions,
+/// including the Hybrid budget-shrink loop and the device-memory check.
+/// Factored out of [`Trainer::prepare`] so the recovery path can replan
+/// on the surviving topology (and, if needed, on a degraded engine).
+fn plan_engine(
+    dataset: &Dataset,
+    model: &GnnModel,
+    cfg: &TrainerConfig,
+    engine: EngineKind,
+    workers: usize,
+    costs: &CostFactors,
+) -> Result<(Vec<WorkerPlan>, Option<HybridInfo>)> {
+    if workers == 0 {
+        return Err(RuntimeError::InvalidConfig("zero workers".into()));
+    }
+    let part = cfg.partitioner.partition(&dataset.graph, workers);
+    let (decision, hybrid_info) = match engine {
+        EngineKind::DepCache => (DepDecision::CacheAll, None),
+        EngineKind::DepComm => (DepDecision::CommAll, None),
+        EngineKind::Hybrid => {
+            let budget = if cfg.enforce_memory {
+                cfg.hybrid.memory_budget_bytes.unwrap_or(cfg.cluster.device.mem_bytes)
+            } else {
+                u64::MAX
+            };
+            let (d, info) = partition_dependencies(
+                &dataset.graph,
+                &part,
+                model.dims(),
+                costs,
+                dataset.scale,
+                cfg.cluster.device.mem_bytes,
+                &HybridConfig {
+                    memory_budget_bytes: Some(budget),
+                    ratio_override: cfg.hybrid.ratio_override,
+                },
+            )?;
+            (d, Some(info))
+        }
+    };
+    let check = |plans: &[WorkerPlan]| -> Result<()> {
+        if !cfg.enforce_memory {
+            return Ok(());
+        }
+        // DepCache materializes whole layers (no chunk streaming);
+        // the chunk-based engines stream edge tensors.
+        let chunked = engine != EngineKind::DepCache;
+        let edge_widths: Vec<usize> = (0..model.num_layers())
+            .map(|lz| model.layer(lz).edge_tensor_width())
+            .collect();
+        check_device_fit(
+            engine.name(),
+            plans,
+            model.dims(),
+            &edge_widths,
+            chunked,
+            dataset.scale,
+            cfg.cluster.device.mem_bytes,
+        )
+    };
+    let mut plans = build_plans(&dataset.graph, &part, model.num_layers(), &decision)?;
+    let mut hybrid_info = hybrid_info;
+    match check(&plans) {
+        Ok(()) => {}
+        Err(first_err) => {
+            // Algorithm 4's internal memory estimate is deliberately
+            // coarse (it accrues subtree bytes, not the full working
+            // set). When the compiled plan still exceeds the device in
+            // *automatic* hybrid mode, shrink the caching budget and
+            // re-partition — the paper's constraint S is exactly this
+            // knob. Ratio-override mode (Fig. 11) and the pure engines
+            // surface the OOM instead, as the paper's tables do.
+            if engine != EngineKind::Hybrid || cfg.hybrid.ratio_override.is_some() {
+                return Err(first_err);
+            }
+            let mut budget = cfg.cluster.device.mem_bytes / 2;
+            let mut done = false;
+            for _ in 0..6 {
+                let (d, info) = partition_dependencies(
+                    &dataset.graph,
+                    &part,
+                    model.dims(),
+                    costs,
+                    dataset.scale,
+                    cfg.cluster.device.mem_bytes,
+                    &HybridConfig {
+                        memory_budget_bytes: Some(budget),
+                        ratio_override: None,
+                    },
+                )?;
+                plans = build_plans(&dataset.graph, &part, model.num_layers(), &d)?;
+                hybrid_info = Some(info);
+                if check(&plans).is_ok() {
+                    done = true;
+                    break;
+                }
+                budget /= 2;
+            }
+            if !done {
+                return Err(first_err);
+            }
+        }
+    }
+    Ok((plans, hybrid_info))
 }
 
 /// The distributed trainer: plans once, simulates once, then trains for
@@ -190,98 +314,9 @@ impl<'a> Trainer<'a> {
         model: &'a GnnModel,
         cfg: TrainerConfig,
     ) -> Result<Self> {
-        if cfg.cluster.workers == 0 {
-            return Err(RuntimeError::InvalidConfig("zero workers".into()));
-        }
-        let part = cfg.partitioner.partition(&dataset.graph, cfg.cluster.workers);
         let costs = probe(model, &cfg.cluster);
-        let (decision, hybrid_info) = match cfg.engine {
-            EngineKind::DepCache => (DepDecision::CacheAll, None),
-            EngineKind::DepComm => (DepDecision::CommAll, None),
-            EngineKind::Hybrid => {
-                let budget = if cfg.enforce_memory {
-                    cfg.hybrid.memory_budget_bytes.unwrap_or(cfg.cluster.device.mem_bytes)
-                } else {
-                    u64::MAX
-                };
-                let (d, info) = partition_dependencies(
-                    &dataset.graph,
-                    &part,
-                    model.dims(),
-                    &costs,
-                    dataset.scale,
-                    cfg.cluster.device.mem_bytes,
-                    &HybridConfig {
-                        memory_budget_bytes: Some(budget),
-                        ratio_override: cfg.hybrid.ratio_override,
-                    },
-                )?;
-                (d, Some(info))
-            }
-        };
-        let check = |plans: &[WorkerPlan]| -> Result<()> {
-            if !cfg.enforce_memory {
-                return Ok(());
-            }
-            // DepCache materializes whole layers (no chunk streaming);
-            // the chunk-based engines stream edge tensors.
-            let chunked = cfg.engine != EngineKind::DepCache;
-            let edge_widths: Vec<usize> = (0..model.num_layers())
-                .map(|lz| model.layer(lz).edge_tensor_width())
-                .collect();
-            check_device_fit(
-                cfg.engine.name(),
-                plans,
-                model.dims(),
-                &edge_widths,
-                chunked,
-                dataset.scale,
-                cfg.cluster.device.mem_bytes,
-            )
-        };
-        let mut plans = build_plans(&dataset.graph, &part, model.num_layers(), &decision)?;
-        let mut hybrid_info = hybrid_info;
-        match check(&plans) {
-            Ok(()) => {}
-            Err(first_err) => {
-                // Algorithm 4's internal memory estimate is deliberately
-                // coarse (it accrues subtree bytes, not the full working
-                // set). When the compiled plan still exceeds the device in
-                // *automatic* hybrid mode, shrink the caching budget and
-                // re-partition — the paper's constraint S is exactly this
-                // knob. Ratio-override mode (Fig. 11) and the pure engines
-                // surface the OOM instead, as the paper's tables do.
-                if cfg.engine != EngineKind::Hybrid || cfg.hybrid.ratio_override.is_some() {
-                    return Err(first_err);
-                }
-                let mut budget = cfg.cluster.device.mem_bytes / 2;
-                let mut done = false;
-                for _ in 0..6 {
-                    let (d, info) = partition_dependencies(
-                        &dataset.graph,
-                        &part,
-                        model.dims(),
-                        &costs,
-                        dataset.scale,
-                        cfg.cluster.device.mem_bytes,
-                        &HybridConfig {
-                            memory_budget_bytes: Some(budget),
-                            ratio_override: None,
-                        },
-                    )?;
-                    plans = build_plans(&dataset.graph, &part, model.num_layers(), &d)?;
-                    hybrid_info = Some(info);
-                    if check(&plans).is_ok() {
-                        done = true;
-                        break;
-                    }
-                    budget /= 2;
-                }
-                if !done {
-                    return Err(first_err);
-                }
-            }
-        }
+        let (plans, hybrid_info) =
+            plan_engine(dataset, model, &cfg, cfg.engine, cfg.cluster.workers, &costs)?;
         Ok(Self { dataset, model, cfg, plans, costs, hybrid_info })
     }
 
@@ -321,8 +356,103 @@ impl<'a> Trainer<'a> {
         }
     }
 
+    /// Replans on `workers` survivors, degrading Hybrid to DepComm when
+    /// the shrunk cluster can no longer fit the cached working set —
+    /// trading extra communication for staying alive rather than
+    /// surfacing `DeviceOom` mid-recovery.
+    fn replan(
+        &self,
+        engine: EngineKind,
+        workers: usize,
+    ) -> Result<(Vec<WorkerPlan>, EngineKind)> {
+        match plan_engine(self.dataset, self.model, &self.cfg, engine, workers, &self.costs) {
+            Ok((plans, _)) => Ok((plans, engine)),
+            Err(RuntimeError::DeviceOom { .. }) if engine == EngineKind::Hybrid => {
+                let (plans, _) = plan_engine(
+                    self.dataset,
+                    self.model,
+                    &self.cfg,
+                    EngineKind::DepComm,
+                    workers,
+                    &self.costs,
+                )?;
+                Ok((plans, EngineKind::DepComm))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The checkpointed epoch loop: run chunks of `checkpoint_every`
+    /// epochs, snapshot after each, and on a worker failure roll back to
+    /// the last checkpoint and resume on the survivors.
+    #[allow(clippy::type_complexity)]
+    fn train_recovering(
+        &self,
+        epochs: usize,
+        exec_cfg: &ExecConfig,
+    ) -> Result<(Vec<EpochMetrics>, ParamStore, Vec<(usize, usize, String)>)> {
+        let cadence = self.cfg.recovery.checkpoint_every;
+        let mut plans = self.plans.clone();
+        let mut engine = self.cfg.engine;
+        let mut fault = self.cfg.fault.clone();
+        let mut ckpt = Checkpoint::initial();
+        let mut metrics: Vec<EpochMetrics> = Vec::new();
+        let mut recoveries = Vec::new();
+        let mut restarts = 0usize;
+        while ckpt.next_epoch < epochs {
+            let chunk = cadence.min(epochs - ckpt.next_epoch);
+            let (init_params, opt_state) = ckpt
+                .restore()
+                .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?;
+            let run = RunState {
+                epoch_offset: ckpt.next_epoch,
+                init_params,
+                opt_state,
+                fault: fault.clone(),
+                recv: self.cfg.recv,
+            };
+            match train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run) {
+                Ok((chunk_metrics, store, opt)) => {
+                    metrics.extend(chunk_metrics);
+                    ckpt = Checkpoint::capture(ckpt.next_epoch + chunk, &store, opt);
+                }
+                Err(RuntimeError::WorkerFailed { worker, epoch, .. })
+                    if restarts < self.cfg.recovery.max_restarts && plans.len() > 1 =>
+                {
+                    // Chunks are atomic: the failed chunk contributed no
+                    // metrics, so `metrics` already matches
+                    // `ckpt.next_epoch` and rollback is just a replan +
+                    // re-run from the checkpoint. The dead worker leaves
+                    // the cluster; its kill fault is retired so the
+                    // resumed run (with re-numbered workers) does not
+                    // re-fire it. Any remaining faults address the *new*
+                    // worker numbering.
+                    restarts += 1;
+                    fault.retire_kill(worker, epoch);
+                    let survivors = plans.len() - 1;
+                    let (new_plans, new_engine) = self.replan(engine, survivors)?;
+                    plans = new_plans;
+                    engine = new_engine;
+                    recoveries.push((worker, ckpt.next_epoch, engine.name().to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let (final_params, _) = ckpt
+            .restore()
+            .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?;
+        Ok((
+            metrics,
+            final_params.unwrap_or_else(|| self.model.fresh_store()),
+            recoveries,
+        ))
+    }
+
     /// Runs `epochs` epochs of real distributed training and returns the
-    /// full report.
+    /// full report. With [`RecoveryConfig`] enabled, worker failures roll
+    /// back to the last checkpoint and training resumes on the surviving
+    /// workers; otherwise they surface as
+    /// [`RuntimeError::WorkerFailed`] / [`RuntimeError::SyncTimeout`].
     pub fn train(&self, epochs: usize) -> Result<TrainingReport> {
         let sim = self.simulate_epoch();
         let exec_cfg = ExecConfig {
@@ -331,8 +461,18 @@ impl<'a> Trainer<'a> {
             ring_order: self.cfg.opts.ring,
             sync: self.cfg.sync,
         };
-        let (metrics, final_params) =
-            train_epochs(self.dataset, self.model, &self.plans, epochs, &exec_cfg)?;
+        let (metrics, final_params, recoveries) = if self.cfg.recovery.enabled() {
+            self.train_recovering(epochs, &exec_cfg)?
+        } else {
+            let run = RunState {
+                fault: self.cfg.fault.clone(),
+                recv: self.cfg.recv,
+                ..Default::default()
+            };
+            let (m, p, _) =
+                train_epochs_run(self.dataset, self.model, &self.plans, epochs, &exec_cfg, &run)?;
+            (m, p, Vec::new())
+        };
         let epochs_out = metrics
             .into_iter()
             .enumerate()
@@ -367,6 +507,7 @@ impl<'a> Trainer<'a> {
                 hybrid: self.hybrid_info.clone(),
             },
             final_params,
+            recoveries,
         })
     }
 }
@@ -403,6 +544,7 @@ mod tests {
                 "{} loss should not explode",
                 engine.name()
             );
+            assert!(report.recoveries.is_empty());
         }
     }
 
@@ -466,5 +608,70 @@ mod tests {
         let mut c = cfg(EngineKind::DepComm, 1);
         c.cluster.workers = 0;
         assert!(Trainer::prepare(&ds, &m, c).is_err());
+    }
+
+    #[test]
+    fn kill_without_recovery_surfaces_worker_failed() {
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::kill(1, 1);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let err = trainer.train(4).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::WorkerFailed { worker: 1, epoch: 1, .. }),
+            "unexpected: {err:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_finishes_all_epochs_after_kill() {
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::kill(1, 2);
+        c.recovery = RecoveryConfig::every(1);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(5).unwrap();
+        assert_eq!(report.epochs.len(), 5, "recovered run must finish");
+        assert_eq!(report.recoveries.len(), 1);
+        let (failed_worker, rollback_epoch, engine_after) = &report.recoveries[0];
+        assert_eq!(*failed_worker, 1);
+        assert_eq!(*rollback_epoch, 2);
+        assert_eq!(engine_after, "DepComm");
+        assert!(
+            report.final_loss() < report.epochs[0].loss,
+            "recovered run must still learn"
+        );
+    }
+
+    #[test]
+    fn checkpoint_chunking_preserves_trajectory() {
+        let ds = dataset();
+        let m = model(&ds);
+        let plain = Trainer::prepare(&ds, &m, cfg(EngineKind::DepComm, 3))
+            .unwrap()
+            .train(4)
+            .unwrap();
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.recovery = RecoveryConfig::every(2);
+        let chunked = Trainer::prepare(&ds, &m, c).unwrap().train(4).unwrap();
+        assert_eq!(plain.epochs.len(), chunked.epochs.len());
+        for (a, b) in plain.epochs.iter().zip(chunked.epochs.iter()) {
+            // Chunking round-trips params + Adam state exactly, so the
+            // trajectory is identical.
+            assert!(
+                (a.loss - b.loss).abs() < 1e-12,
+                "epoch {}: {} vs {}",
+                a.epoch,
+                a.loss,
+                b.loss
+            );
+        }
+        for ((_, _, a), (_, _, b)) in
+            plain.final_params.iter().zip(chunked.final_params.iter())
+        {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod tensor;
 
 pub use flops::FlopCounter;
 pub use nn::{Init, Linear, Mlp, ParamStore};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;
 

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
-use ns_tensor::{Tape, Tensor};
+use ns_tensor::{checkpoint, ParamStore, Tape, Tensor};
 
 prop_compose! {
     fn tensor_strategy(max_rows: usize, max_cols: usize)
@@ -157,5 +157,58 @@ proptest! {
         tape.backward_from(g, Tensor::full(rows, 2, 1.0));
         let grad_sum = tape.grad(xv).unwrap().sum();
         prop_assert!((grad_sum - (picks * 2) as f32).abs() < 1e-3);
+    }
+
+    /// Checkpoint save → load round-trips bit-identically for arbitrary
+    /// parameter-store shapes (the recovery path depends on exact
+    /// restores for deterministic trajectory replay).
+    #[test]
+    fn checkpoint_roundtrip_bit_identical(
+        seed in 0u64..500,
+        shapes in prop::collection::vec((1usize..12, 1usize..12), 0..6),
+    ) {
+        let mut store = ParamStore::new();
+        for (i, &(rows, cols)) in shapes.iter().enumerate() {
+            store.register(format!("p{i}"), tensor_with(rows, cols, seed + i as u64));
+        }
+        let mut buf = Vec::new();
+        checkpoint::save(&store, &mut buf).unwrap();
+        let loaded = checkpoint::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(loaded.iter()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.shape(), v2.shape());
+            prop_assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    /// Truncating a checkpoint anywhere yields `io::Error`, never a panic
+    /// or a silently short store.
+    #[test]
+    fn truncated_checkpoint_is_an_error(
+        seed in 0u64..200,
+        rows in 1usize..8,
+        cols in 1usize..8,
+        cut in 0.0f64..1.0,
+    ) {
+        let mut store = ParamStore::new();
+        store.register("w", tensor_with(rows, cols, seed));
+        store.register("b", tensor_with(1, cols, seed + 1));
+        let mut buf = Vec::new();
+        checkpoint::save(&store, &mut buf).unwrap();
+        let keep = ((buf.len() - 1) as f64 * cut) as usize;
+        buf.truncate(keep);
+        prop_assert!(checkpoint::load(&mut buf.as_slice()).is_err());
+    }
+
+    /// Corrupting the magic yields `io::Error`, never a panic.
+    #[test]
+    fn corrupted_magic_is_an_error(seed in 0u64..200, byte in 0usize..8) {
+        let mut store = ParamStore::new();
+        store.register("w", tensor_with(3, 3, seed));
+        let mut buf = Vec::new();
+        checkpoint::save(&store, &mut buf).unwrap();
+        buf[byte] ^= 0xA5;
+        prop_assert!(checkpoint::load(&mut buf.as_slice()).is_err());
     }
 }

@@ -1,0 +1,150 @@
+//! Fault-tolerance acceptance tests: injected worker death surfaces as a
+//! typed error (never a hang or abort), and checkpoint-based recovery
+//! finishes the run on the surviving topology with the same numeric
+//! trajectory an uninterrupted run on that topology produces.
+
+use std::time::{Duration, Instant};
+
+use neutronstar::prelude::*;
+use ns_graph::datasets::by_name;
+use ns_net::fault::FaultPlan;
+use ns_runtime::{FailureCause, RecoveryConfig, RuntimeError};
+
+fn small_dataset() -> Dataset {
+    by_name("cora").unwrap().materialize(0.2, 7)
+}
+
+fn model_for(ds: &Dataset) -> GnnModel {
+    GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3)
+}
+
+/// Without recovery configured, every engine returns
+/// `RuntimeError::WorkerFailed` when a worker is killed mid-run — with
+/// all surviving threads joined (the call returning at all proves the
+/// join) and promptly (no deadlock waiting on the dead peer).
+#[test]
+fn kill_without_recovery_fails_fast_on_every_engine() {
+    let ds = small_dataset();
+    let model = model_for(&ds);
+    for engine in [EngineKind::DepCache, EngineKind::DepComm, EngineKind::Hybrid] {
+        let session = TrainingSession::builder()
+            .engine(engine)
+            .cluster(ClusterSpec::aliyun_ecs(3))
+            .without_memory_check()
+            .faults(FaultPlan::kill(1, 2))
+            .build(&ds, &model)
+            .unwrap();
+        let t0 = Instant::now();
+        let err = session.train(5).unwrap_err();
+        match err {
+            RuntimeError::WorkerFailed { worker, epoch, cause } => {
+                assert_eq!(worker, 1, "{}", engine.name());
+                assert_eq!(epoch, 2, "{}", engine.name());
+                assert_eq!(cause, FailureCause::Killed, "{}", engine.name());
+            }
+            other => panic!("{}: expected WorkerFailed, got {other:?}", engine.name()),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "{}: failure must surface promptly",
+            engine.name()
+        );
+    }
+}
+
+/// With checkpointing every epoch, a kill at epoch 2 rolls back and the
+/// run still completes all epochs on the two survivors. From the rollback
+/// point on, the recovered run must follow the same loss trajectory as an
+/// uninterrupted 2-worker run (same seeds, f32 summation-order tolerance
+/// for the epochs trained on three workers before the crash).
+#[test]
+fn recovery_matches_uninterrupted_surviving_topology() {
+    let ds = small_dataset();
+    let model = model_for(&ds);
+    let epochs = 6;
+
+    let reference = TrainingSession::builder()
+        .engine(EngineKind::DepComm)
+        .cluster(ClusterSpec::aliyun_ecs(2))
+        .build(&ds, &model)
+        .unwrap()
+        .train(epochs)
+        .unwrap();
+
+    let recovered = TrainingSession::builder()
+        .engine(EngineKind::DepComm)
+        .cluster(ClusterSpec::aliyun_ecs(3))
+        .faults(FaultPlan::kill(1, 2))
+        .recovery(RecoveryConfig::every(1))
+        .build(&ds, &model)
+        .unwrap()
+        .train(epochs)
+        .unwrap();
+
+    assert_eq!(recovered.epochs.len(), epochs, "recovered run must finish");
+    assert_eq!(recovered.recoveries, vec![(1, 2, "DepComm".to_string())]);
+    for (a, b) in reference.epochs.iter().zip(recovered.epochs.iter()) {
+        // Worker counts only change float summation order, so the
+        // 3-worker prefix agrees with the 2-worker reference to f32
+        // tolerance and the post-recovery epochs run on an identical
+        // topology.
+        assert!(
+            (a.loss - b.loss).abs() < 3e-3 * a.loss.abs().max(1.0),
+            "epoch {}: reference {} vs recovered {}",
+            a.epoch,
+            a.loss,
+            b.loss
+        );
+    }
+    assert!(
+        recovered.final_loss() < recovered.epochs[0].loss,
+        "recovered run must keep learning"
+    );
+}
+
+/// Recovery survives losing two workers (two separate kills) as long as
+/// the restart budget allows, ending on a single survivor.
+#[test]
+fn recovery_survives_consecutive_kills() {
+    let ds = small_dataset();
+    let model = model_for(&ds);
+    let faults = FaultPlan::kill(2, 1).with_fault(ns_net::fault::Fault::Kill {
+        worker: 1,
+        epoch: 3,
+    });
+    let report = TrainingSession::builder()
+        .engine(EngineKind::DepComm)
+        .cluster(ClusterSpec::aliyun_ecs(3))
+        .faults(faults)
+        .recovery(RecoveryConfig::every(1))
+        .build(&ds, &model)
+        .unwrap()
+        .train(5)
+        .unwrap();
+    assert_eq!(report.epochs.len(), 5);
+    assert_eq!(report.recoveries.len(), 2);
+}
+
+/// When the restart budget is exhausted the original failure surfaces.
+#[test]
+fn restart_budget_exhaustion_surfaces_failure() {
+    let ds = small_dataset();
+    let model = model_for(&ds);
+    let faults = FaultPlan::kill(2, 1).with_fault(ns_net::fault::Fault::Kill {
+        worker: 1,
+        epoch: 3,
+    });
+    let err = TrainingSession::builder()
+        .engine(EngineKind::DepComm)
+        .cluster(ClusterSpec::aliyun_ecs(3))
+        .faults(faults)
+        .recovery(RecoveryConfig { checkpoint_every: 1, max_restarts: 1 })
+        .build(&ds, &model)
+        .unwrap()
+        .train(5)
+        .unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::WorkerFailed { worker: 1, epoch: 3, .. }),
+        "unexpected: {err:?}"
+    );
+}
