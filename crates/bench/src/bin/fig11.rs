@@ -6,9 +6,8 @@
 
 use bench::{dataset, model_for, print_table, save_json, RunSpec};
 use ns_gnn::ModelKind;
-use ns_net::sim::ResourceKind;
 use ns_net::ClusterSpec;
-use ns_runtime::{EngineKind, RuntimeError};
+use ns_runtime::{sim_breakdown, EngineKind, RuntimeError};
 use serde_json::json;
 
 fn main() {
@@ -27,19 +26,18 @@ fn main() {
                 .simulate();
             match sim {
                 Ok(s) => {
-                    let comm = s.report.total_busy(ResourceKind::NicIn)
-                        / cluster.workers as f64;
+                    let b = sim_breakdown(&s.report);
                     rows.push(vec![
                         format!("{:.0}%", r * 100.0),
                         format!("{:.4}", s.epoch_seconds),
-                        format!("{:.4}", comm),
-                        format!("{:.4}", (s.epoch_seconds - comm).max(0.0)),
+                        format!("{:.4}", b.comm_s),
+                        format!("{:.4}", b.compute_s),
                     ]);
                     artifacts.push(json!({
                         "case": format!("{}-{}", kind.name(), name),
                         "cached_ratio": r,
                         "epoch_s": s.epoch_seconds,
-                        "comm_share_s": comm,
+                        "comm_share_s": b.comm_s,
                     }));
                 }
                 Err(RuntimeError::DeviceOom { .. }) => {

@@ -11,7 +11,7 @@ use ns_baselines::{DistDglConfig, DistDglLike};
 use ns_gnn::ModelKind;
 use ns_net::sim::ResourceKind;
 use ns_net::{ClusterSpec, ExecOptions};
-use ns_runtime::EngineKind;
+use ns_runtime::{utilization_trace, EngineKind};
 use serde_json::json;
 
 const BUCKETS: usize = 20;
@@ -57,9 +57,8 @@ fn main() {
         }
         let sim = spec.simulate().expect("simulate");
         let end = sim.report.makespan;
-        let bucket = end / BUCKETS as f64;
         // Worker 0's device utilization over the epoch window.
-        let series = sim.report.utilization(0, ResourceKind::Device, bucket, end);
+        let series = utilization_trace(&sim.report, 0, ResourceKind::Device, BUCKETS);
         let bytes_per_s = sim.bytes_per_epoch as f64 / end / cluster.workers as f64;
         record(label, sim.device_utilization, sim.nic_utilization, bytes_per_s, series);
     }

@@ -8,6 +8,7 @@
 //! ```
 
 use neutronstar::cli::{parse, Command, RunArgs, USAGE};
+use neutronstar::metrics::{summary_table, to_chrome_trace, to_json};
 use neutronstar::prelude::*;
 use neutronstar::runtime::cost::probe;
 use neutronstar::runtime::TrainerConfig;
@@ -51,6 +52,16 @@ enum Mode {
     Train,
     Simulate,
     Probe,
+}
+
+/// Writes an observability artifact (metrics JSON or Chrome trace),
+/// exiting with the same error shape as the checkpoint writer.
+fn write_artifact(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{what} written to {path}");
 }
 
 fn run(ra: &RunArgs, mode: Mode) {
@@ -160,6 +171,13 @@ fn run(ra: &RunArgs, mode: Mode) {
                         "recovered: worker {worker} lost, rolled back to epoch \
                          {epoch}, resumed on {engine}"
                     );
+                }
+                print!("{}", summary_table(&report.metrics));
+                if let Some(path) = &ra.metrics_out {
+                    write_artifact(path, &to_json(&report.metrics), "metrics JSON");
+                }
+                if let Some(path) = &ra.trace_out {
+                    write_artifact(path, &to_chrome_trace(&report.metrics), "trace");
                 }
                 if let Some(path) = &ra.save {
                     let mut f = std::fs::File::create(path).unwrap_or_else(|e| {

@@ -64,6 +64,10 @@ pub struct RunArgs {
     pub faults: Vec<String>,
     /// Checkpoint cadence in epochs; 0 disables recovery.
     pub checkpoint_every: usize,
+    /// Metrics JSON output path (train only).
+    pub metrics_out: Option<String>,
+    /// Chrome `trace_event` JSON output path (train only).
+    pub trace_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -85,6 +89,8 @@ impl Default for RunArgs {
             save: None,
             faults: Vec::new(),
             checkpoint_every: 0,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -147,7 +153,12 @@ OPTIONS (train/simulate/probe):
                             dup:<kind>:<p>           duplicate messages
                           <kind> is rows|grads|allreduce|control|any;
                           drop/delay/dup accept @e<n> and @w<src>-w<dst>
-  --checkpoint-every <n>  checkpoint cadence; enables rollback recovery
+  --checkpoint-every <n>  checkpoint cadence in epochs; 0 disables
+                          rollback recovery (default 0)
+  --metrics-out <path>    write run metrics as JSON (train only)
+  --trace-out <path>      write a Chrome trace_event JSON timeline,
+                          loadable in Perfetto / chrome://tracing
+                          (train only)
   --no-ring --no-lockfree --no-overlap   disable optimizations
 ";
 
@@ -259,6 +270,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         ra.checkpoint_every =
             v.parse().map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
     }
+    if let Some(v) = parse_flag_value(&flags, "metrics-out") {
+        ra.metrics_out = Some(v.clone());
+    }
+    if let Some(v) = parse_flag_value(&flags, "trace-out") {
+        ra.trace_out = Some(v.clone());
+    }
     ra.faults = faults;
     for s in switches {
         match s.as_str() {
@@ -301,7 +318,8 @@ mod tests {
         let cmd = parse(&args(
             "train --dataset reddit --scale 0.001 --model gat --engine depcomm \
              --workers 8 --cluster ibv --partitioner fennel --epochs 5 --lr 0.05 \
-             --sync ps --seed 7 --save /tmp/m.ckpt --no-overlap",
+             --sync ps --seed 7 --save /tmp/m.ckpt --no-overlap \
+             --metrics-out /tmp/m.json --trace-out /tmp/m.trace.json",
         ))
         .unwrap();
         let Command::Train(ra) = cmd else { panic!("expected train") };
@@ -317,6 +335,8 @@ mod tests {
         assert_eq!(ra.sync, SyncMode::ParameterServer);
         assert_eq!(ra.seed, 7);
         assert_eq!(ra.save.as_deref(), Some("/tmp/m.ckpt"));
+        assert_eq!(ra.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(ra.trace_out.as_deref(), Some("/tmp/m.trace.json"));
         assert!(ra.opts.ring && ra.opts.lock_free && !ra.opts.overlap);
     }
 

@@ -52,10 +52,12 @@
 //! | graphs | `ns-graph` | CSC/CSR storage, Table 2 dataset registry, partitioners, k-hop closures |
 //! | tensors | `ns-tensor` | dense tensors + tape autograd (the PyTorch role) |
 //! | baselines | `ns-baselines` | DistDGL-like, ROC-like, DGL/PyG-like comparisons |
+//! | metrics | `ns-metrics` | phase timers, counters, trace/JSON sinks (`docs/OBSERVABILITY.md`) |
 
 pub use ns_baselines as baselines;
 pub use ns_gnn as gnn;
 pub use ns_graph as graph;
+pub use ns_metrics as metrics;
 pub use ns_net as net;
 pub use ns_runtime as runtime;
 pub use ns_tensor as tensor;

@@ -14,6 +14,37 @@ use ns_runtime::{EngineKind, HybridConfig, RecoveryConfig, RuntimeError, Trainin
 /// Hybrid), graph partitioner (chunk / metis-like / fennel), cluster
 /// (Aliyun ECS or IBV presets, any worker count), and the three system
 /// optimizations of Fig. 9.
+///
+/// Every run is metered: the returned
+/// [`TrainingReport::metrics`](ns_runtime::TrainingReport) carries
+/// per-worker phase timings, traffic counters, and trace spans that the
+/// `ns-metrics` sinks render as a summary table, JSON, or a Chrome
+/// trace (see `docs/OBSERVABILITY.md`).
+///
+/// ```
+/// use neutronstar::prelude::*;
+///
+/// let dataset = DatasetSpec::named("cora").unwrap().materialize(0.2, 3);
+/// let model = neutronstar::gnn::GnnModel::two_layer(
+///     neutronstar::gnn::ModelKind::Gcn,
+///     dataset.feature_dim(),
+///     16,
+///     dataset.num_classes,
+///     1,
+/// );
+/// let session = TrainingSession::builder()
+///     .engine(EngineKind::Hybrid)
+///     .cluster(ClusterSpec::aliyun_ecs(2))
+///     .build(&dataset, &model)
+///     .unwrap();
+/// let report = session.train(2).unwrap();
+///
+/// // Per-worker frames plus the coordinator-free run summary.
+/// assert_eq!(report.metrics.worker_ids(), vec![0, 1]);
+/// assert!(report.metrics.total_counter("net.sent.bytes") > 0);
+/// let json = neutronstar::metrics::to_json(&report.metrics);
+/// assert!(json.contains("\"schema\""));
+/// ```
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     engine: EngineKind,

@@ -26,6 +26,8 @@ pub struct LayerRun {
     input: Var,
     output: Var,
     forward_flops: u64,
+    fwd_graph_ns: u64,
+    fwd_nn_ns: u64,
 }
 
 impl LayerRun {
@@ -39,20 +41,46 @@ impl LayerRun {
         self.forward_flops
     }
 
+    /// Forward wall time attributed to graph operators, nanoseconds
+    /// (tape-granularity attribution; see `ns_tensor::Tape::graph_op_ns`).
+    pub fn fwd_graph_ns(&self) -> u64 {
+        self.fwd_graph_ns
+    }
+
+    /// Forward wall time attributed to NN operators, nanoseconds.
+    pub fn fwd_nn_ns(&self) -> u64 {
+        self.fwd_nn_ns
+    }
+
     /// Runs the backward pass seeded with `output_grad`; accumulates
     /// parameter gradients into `grads` (parallel to the store) and
     /// returns `(input_gradient, backward_flops)`.
-    pub fn backward(mut self, output_grad: Tensor, grads: &mut [Tensor]) -> (Tensor, u64) {
+    pub fn backward(self, output_grad: Tensor, grads: &mut [Tensor]) -> (Tensor, u64) {
+        let (input_grad, flops, _, _) = self.backward_split(output_grad, grads);
+        (input_grad, flops)
+    }
+
+    /// Like [`LayerRun::backward`], additionally returning the backward
+    /// pass's graph-op vs NN-op wall-time split:
+    /// `(input_gradient, backward_flops, bwd_graph_ns, bwd_nn_ns)`.
+    pub fn backward_split(
+        mut self,
+        output_grad: Tensor,
+        grads: &mut [Tensor],
+    ) -> (Tensor, u64, u64, u64) {
         let before = self.tape.flops();
+        let (graph_before, nn_before) = (self.tape.graph_op_ns(), self.tape.nn_op_ns());
         self.tape.backward_from(self.output, output_grad);
         let flops = self.tape.flops() - before;
+        let bwd_graph_ns = self.tape.graph_op_ns() - graph_before;
+        let bwd_nn_ns = self.tape.nn_op_ns() - nn_before;
         self.bindings.collect_grads(&mut self.tape, grads);
         let shape = self.tape.value(self.input).shape();
         let input_grad = self
             .tape
             .take_grad(self.input)
             .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
-        (input_grad, flops)
+        (input_grad, flops, bwd_graph_ns, bwd_nn_ns)
     }
 }
 
@@ -95,7 +123,9 @@ fn start_run(h: Tensor) -> (Tape, Bindings, Var) {
 
 fn finish_run(tape: Tape, bindings: Bindings, input: Var, output: Var) -> LayerRun {
     let forward_flops = tape.flops();
-    LayerRun { tape, bindings, input, output, forward_flops }
+    let fwd_graph_ns = tape.graph_op_ns();
+    let fwd_nn_ns = tape.nn_op_ns();
+    LayerRun { tape, bindings, input, output, forward_flops, fwd_graph_ns, fwd_nn_ns }
 }
 
 /// Graph Convolutional Network layer (Kipf & Welling):

@@ -144,6 +144,60 @@ impl MessageKind {
             MessageKind::Control(_) => "Control",
         }
     }
+
+    /// Stable index of this kind into the per-kind [`NetStats`] arrays;
+    /// parallel to [`KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            MessageKind::Rows { .. } => 0,
+            MessageKind::Grads { .. } => 1,
+            MessageKind::AllReduce { .. } => 2,
+            MessageKind::Control(_) => 3,
+        }
+    }
+}
+
+/// Snake-case kind names, parallel to [`MessageKind::kind_index`]. Used to
+/// name per-kind metric counters.
+pub const KIND_NAMES: [&str; 4] = ["rows", "grads", "allreduce", "control"];
+
+/// Always-on traffic counters metered by one [`Endpoint`].
+///
+/// Send-side counters meter *logical* sends: one message counted once, at its
+/// [`MessageKind::payload_bytes`] wire size, regardless of fault-injected
+/// physical duplicates (those are tallied separately in `dups_injected`).
+/// This makes `sent_bytes` the ground truth the metrics layer exposes as
+/// `net.sent.bytes` — exactly the bytes the training protocol put on the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Logical messages sent, all kinds and peers.
+    pub sent_msgs: u64,
+    /// Logical bytes sent ([`MessageKind::payload_bytes`] sum).
+    pub sent_bytes: u64,
+    /// Messages sent, indexed by [`MessageKind::kind_index`].
+    pub sent_msgs_by_kind: [u64; 4],
+    /// Bytes sent, indexed by [`MessageKind::kind_index`].
+    pub sent_bytes_by_kind: [u64; 4],
+    /// Messages sent to each destination worker (self-sends included).
+    pub sent_msgs_by_peer: Vec<u64>,
+    /// Bytes sent to each destination worker.
+    pub sent_bytes_by_peer: Vec<u64>,
+    /// Sends the fault plan delayed (the fabric's model of drop+retransmit).
+    pub delays_injected: u64,
+    /// Sends the fault plan physically duplicated.
+    pub dups_injected: u64,
+    /// Received duplicates this endpoint suppressed by sequence number.
+    pub dups_suppressed: u64,
+}
+
+impl NetStats {
+    fn for_world(workers: usize) -> Self {
+        NetStats {
+            sent_msgs_by_peer: vec![0; workers],
+            sent_bytes_by_peer: vec![0; workers],
+            ..NetStats::default()
+        }
+    }
 }
 
 /// An addressed message.
@@ -177,6 +231,7 @@ pub struct Endpoint {
     next_seq: RefCell<Vec<u64>>,
     last_seen: RefCell<Vec<u64>>,
     pending: RefCell<Vec<Option<Message>>>,
+    stats: RefCell<NetStats>,
 }
 
 impl Endpoint {
@@ -206,6 +261,7 @@ impl Endpoint {
     /// endpoint has been dropped.
     pub fn send(&self, dst: usize, kind: MessageKind) -> Result<u64, NetError> {
         let bytes = kind.payload_bytes();
+        let kidx = kind.kind_index();
         let seq = {
             let mut seqs = self.next_seq.borrow_mut();
             seqs[dst] += 1;
@@ -214,6 +270,21 @@ impl Endpoint {
         let fate = self.faults.send_fate(self.epoch.get(), self.me, dst, Some(&kind), seq);
         let deliver_at = (fate.delay_ms > 0)
             .then(|| Instant::now() + Duration::from_millis(fate.delay_ms));
+        {
+            let mut st = self.stats.borrow_mut();
+            st.sent_msgs += 1;
+            st.sent_bytes += bytes;
+            st.sent_msgs_by_kind[kidx] += 1;
+            st.sent_bytes_by_kind[kidx] += bytes;
+            st.sent_msgs_by_peer[dst] += 1;
+            st.sent_bytes_by_peer[dst] += bytes;
+            if deliver_at.is_some() {
+                st.delays_injected += 1;
+            }
+            if fate.duplicate {
+                st.dups_injected += 1;
+            }
+        }
         let msg = Message { src: self.me, seq, deliver_at, kind };
         if fate.duplicate {
             self.txs[dst]
@@ -226,10 +297,16 @@ impl Endpoint {
         Ok(bytes)
     }
 
+    /// Snapshot of this endpoint's traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats.borrow().clone()
+    }
+
     /// Surfaces `msg` unless it is a duplicate delivery.
     fn admit(&self, src: usize, msg: Message) -> Option<Message> {
         let mut last = self.last_seen.borrow_mut();
         if msg.seq <= last[src] {
+            self.stats.borrow_mut().dups_suppressed += 1;
             return None;
         }
         last[src] = msg.seq;
@@ -367,6 +444,7 @@ impl Fabric {
                 next_seq: RefCell::new(vec![0; workers]),
                 last_seen: RefCell::new(vec![0; workers]),
                 pending: RefCell::new((0..workers).map(|_| None).collect()),
+                stats: RefCell::new(NetStats::for_world(workers)),
             })
             .collect();
         Self { endpoints }
@@ -442,15 +520,17 @@ mod tests {
         let mut eps = Fabric::new(2).into_endpoints();
         let e1 = eps.pop().unwrap();
         let e0 = eps.pop().unwrap();
+        // `move` closures: the endpoint's seen/pending bookkeeping makes
+        // it Send but not Sync, so each thread must own its endpoint.
         crossbeam::thread::scope(|s| {
-            s.spawn(|_| {
+            s.spawn(move |_| {
                 e0.send(1, MessageKind::Control(3.0)).unwrap();
                 match e0.recv_from(1).unwrap().kind {
                     MessageKind::Control(v) => assert_eq!(v, 4.0),
                     _ => panic!(),
                 }
             });
-            s.spawn(|_| {
+            s.spawn(move |_| {
                 match e1.recv_from(0).unwrap().kind {
                     MessageKind::Control(v) => assert_eq!(v, 3.0),
                     _ => panic!(),
@@ -480,10 +560,15 @@ mod tests {
             e0.send(1, MessageKind::Control(1.0)),
             Err(NetError::PeerDisconnected { peer: 1 })
         );
-        assert_eq!(e0.recv_from(1), Err(NetError::PeerDisconnected { peer: 1 }));
+        // `Message` carries float payloads and no PartialEq; compare the
+        // error side only.
         assert_eq!(
-            e0.recv_from_timeout(1, Duration::from_millis(50)),
-            Err(NetError::PeerDisconnected { peer: 1 })
+            e0.recv_from(1).unwrap_err(),
+            NetError::PeerDisconnected { peer: 1 }
+        );
+        assert_eq!(
+            e0.recv_from_timeout(1, Duration::from_millis(50)).unwrap_err(),
+            NetError::PeerDisconnected { peer: 1 }
         );
     }
 
@@ -494,6 +579,51 @@ mod tests {
         let err = eps[1].recv_from_timeout(0, Duration::from_millis(30)).unwrap_err();
         assert!(t0.elapsed() >= Duration::from_millis(30));
         assert_eq!(err, NetError::RecvTimeout { peer: 0, waited_ms: 30 });
+    }
+
+    #[test]
+    fn stats_meter_logical_sends_by_kind_and_peer() {
+        let eps = Fabric::new(3).into_endpoints();
+        let b0 = eps[0]
+            .send(
+                1,
+                MessageKind::Rows { layer: 0, ids: vec![1, 2], cols: 4, data: vec![0.0; 8] },
+            )
+            .unwrap();
+        let b1 = eps[0]
+            .send(2, MessageKind::AllReduce { round: 1, data: vec![0.0; 5] })
+            .unwrap();
+        eps[0].send(1, MessageKind::Control(7.0)).unwrap();
+        let st = eps[0].stats();
+        assert_eq!(st.sent_msgs, 3);
+        assert_eq!(st.sent_bytes, b0 + b1 + CONTROL_BYTES);
+        assert_eq!(st.sent_msgs_by_kind, [1, 0, 1, 1]);
+        assert_eq!(st.sent_bytes_by_kind[0], b0);
+        assert_eq!(st.sent_bytes_by_kind[2], b1);
+        assert_eq!(st.sent_msgs_by_peer, vec![0, 2, 1]);
+        assert_eq!(st.sent_bytes_by_peer.iter().sum::<u64>(), st.sent_bytes);
+        assert_eq!(
+            st.sent_bytes_by_kind.iter().sum::<u64>(),
+            st.sent_bytes,
+            "per-kind bytes partition the total"
+        );
+        // Receivers meter nothing on the send side.
+        assert_eq!(eps[1].stats().sent_msgs, 0);
+    }
+
+    #[test]
+    fn stats_count_injected_faults_and_suppressed_dups() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::Duplicate { sel: MsgSel::any(), p: 1.0 });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        eps[0].send(1, MessageKind::Control(1.0)).unwrap();
+        let st = eps[0].stats();
+        assert_eq!(st.sent_msgs, 1, "logical send counted once");
+        assert_eq!(st.dups_injected, 1);
+        // Receiver drains both physical copies; one is suppressed.
+        let _ = eps[1].recv_from(0).unwrap();
+        assert!(eps[1].try_recv_from(0).is_none());
+        assert_eq!(eps[1].stats().dups_suppressed, 1);
     }
 
     #[test]

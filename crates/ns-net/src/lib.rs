@@ -31,6 +31,6 @@ pub mod fault;
 pub mod sim;
 
 pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
-pub use fabric::{Endpoint, Fabric, Message, MessageKind, NetError};
+pub use fabric::{Endpoint, Fabric, Message, MessageKind, NetError, NetStats, KIND_NAMES};
 pub use fault::{Fault, FaultPlan, KindSel, MsgSel, SendFate};
 pub use sim::{SimReport, TaskGraph, TaskId};

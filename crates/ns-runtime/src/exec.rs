@@ -28,8 +28,9 @@ use std::time::{Duration, Instant};
 use ns_gnn::loss::{accuracy, softmax_cross_entropy};
 use ns_gnn::GnnModel;
 use ns_graph::Dataset;
+use ns_metrics::{span, LayerSplit, MetricsFrame, MetricsRecorder, Phase, RunMetrics};
 use ns_net::fault::FaultPlan;
-use ns_net::{Endpoint, Fabric, Message, MessageKind, NetError};
+use ns_net::{Endpoint, Fabric, Message, MessageKind, NetError, NetStats, KIND_NAMES};
 use ns_tensor::{Adam, AdamState, Optimizer, ParamStore, Sgd, Tensor};
 
 use crate::error::{FailureCause, Result, RuntimeError};
@@ -121,6 +122,11 @@ pub struct RunState {
     pub fault: FaultPlan,
     /// Receive timeout/retry policy.
     pub recv: RecvConfig,
+    /// Shared trace-clock origin for the metrics recorders (`None` =
+    /// "start of this call"). The recovery loop threads one origin
+    /// through every chunk so the spans of a run that rolled back and
+    /// resumed all land on a single timeline.
+    pub origin: Option<Instant>,
 }
 
 /// Numeric results of one epoch, aggregated over workers.
@@ -200,28 +206,37 @@ fn peer_order(me: usize, m: usize, ring: bool) -> Vec<usize> {
 
 /// Receives from `src` under the timeout/retry policy: each timeout
 /// doubles the window until the retry budget is spent, then the
-/// accumulated [`NetError::RecvTimeout`] is returned.
+/// accumulated [`NetError::RecvTimeout`] is returned. Blocked time goes
+/// to the `net.recv.wait_ns` histogram and spent retries to the
+/// `net.recv.retries` counter, on every exit path.
 fn recv_retry(
     ep: &Endpoint,
     src: usize,
     rc: &RecvConfig,
+    rec: &MetricsRecorder,
 ) -> std::result::Result<Message, NetError> {
+    let t0 = Instant::now();
     let mut wait = Duration::from_millis(rc.timeout_ms.max(1));
     let mut waited_ms = 0u64;
     let mut attempt = 0u32;
-    loop {
+    let res = loop {
         match ep.recv_from_timeout(src, wait) {
             Err(NetError::RecvTimeout { .. }) => {
                 waited_ms += wait.as_millis() as u64;
                 if attempt >= rc.retries {
-                    return Err(NetError::RecvTimeout { peer: src, waited_ms });
+                    break Err(NetError::RecvTimeout { peer: src, waited_ms });
                 }
                 attempt += 1;
                 wait = wait.saturating_mul(2);
             }
-            other => return other,
+            other => break other,
         }
+    };
+    if attempt > 0 {
+        rec.incr("net.recv.retries", attempt as u64);
     }
+    rec.observe("net.recv.wait_ns", t0.elapsed().as_nanos() as u64);
+    res
 }
 
 /// Ring all-reduce over the flattened parameter gradients. All workers
@@ -229,6 +244,7 @@ fn recv_retry(
 fn ring_allreduce(
     ep: &Endpoint,
     rc: &RecvConfig,
+    rec: &MetricsRecorder,
     grads: &mut [Tensor],
 ) -> std::result::Result<(), NetError> {
     let m = ep.world();
@@ -258,7 +274,7 @@ fn ring_allreduce(
         let send_c = (me + m - s) % m;
         let recv_c = (me + m - s - 1) % m;
         ep.send(right, MessageKind::AllReduce { round: s as u32, data: slice(&flat, send_c) })?;
-        let msg = recv_retry(ep, left, rc)?;
+        let msg = recv_retry(ep, left, rc, rec)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
@@ -276,7 +292,7 @@ fn ring_allreduce(
             right,
             MessageKind::AllReduce { round: (m - 1 + s) as u32, data: slice(&flat, send_c) },
         )?;
-        let msg = recv_retry(ep, left, rc)?;
+        let msg = recv_retry(ep, left, rc, rec)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
@@ -301,6 +317,7 @@ fn ring_allreduce(
 fn ps_reduce(
     ep: &Endpoint,
     rc: &RecvConfig,
+    rec: &MetricsRecorder,
     grads: &mut [Tensor],
 ) -> std::result::Result<(), NetError> {
     let m = ep.world();
@@ -314,7 +331,7 @@ fn ps_reduce(
     }
     if me == 0 {
         for src in 1..m {
-            let msg = recv_retry(ep, src, rc)?;
+            let msg = recv_retry(ep, src, rc, rec)?;
             let got = msg.kind.name();
             let MessageKind::AllReduce { data, .. } = msg.kind else {
                 return Err(NetError::UnexpectedKind { peer: src, expected: "AllReduce", got });
@@ -328,7 +345,7 @@ fn ps_reduce(
         }
     } else {
         ep.send(0, MessageKind::AllReduce { round: 0, data: flat.clone() })?;
-        let msg = recv_retry(ep, 0, rc)?;
+        let msg = recv_retry(ep, 0, rc, rec)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: 0, expected: "AllReduce", got });
@@ -344,10 +361,42 @@ fn ps_reduce(
     Ok(())
 }
 
+/// Copies an endpoint's [`NetStats`] snapshot into recorder counters:
+/// `net.sent.{msgs,bytes}` totals plus per-kind (`.rows`, `.grads`, …)
+/// and per-peer (`.peer<k>`) breakdowns, fault-injection counts, and
+/// receiver-side duplicate suppressions.
+fn export_net_stats(rec: &MetricsRecorder, stats: &NetStats) {
+    rec.incr("net.sent.msgs", stats.sent_msgs);
+    rec.incr("net.sent.bytes", stats.sent_bytes);
+    for (k, name) in KIND_NAMES.iter().enumerate() {
+        if stats.sent_msgs_by_kind[k] > 0 {
+            rec.incr(&format!("net.sent.msgs.{name}"), stats.sent_msgs_by_kind[k]);
+            rec.incr(&format!("net.sent.bytes.{name}"), stats.sent_bytes_by_kind[k]);
+        }
+    }
+    for (peer, &msgs) in stats.sent_msgs_by_peer.iter().enumerate() {
+        if msgs > 0 {
+            rec.incr(&format!("net.sent.msgs.peer{peer}"), msgs);
+            rec.incr(&format!("net.sent.bytes.peer{peer}"), stats.sent_bytes_by_peer[peer]);
+        }
+    }
+    if stats.delays_injected > 0 {
+        rec.incr("net.fault.delays", stats.delays_injected);
+    }
+    if stats.dups_injected > 0 {
+        rec.incr("net.fault.dups", stats.dups_injected);
+    }
+    if stats.dups_suppressed > 0 {
+        rec.incr("net.recv.dups_suppressed", stats.dups_suppressed);
+    }
+}
+
 /// One worker's training loop over all epochs. Returns the trained
-/// replica and exported optimizer state, or the worker's typed failure.
-/// Either way the endpoint is dropped on exit, so peers blocked on this
-/// worker wake with `PeerDisconnected` instead of hanging.
+/// replica and exported optimizer state, or the worker's typed failure —
+/// and, either way, the worker's [`MetricsFrame`] (fabric traffic meters
+/// are folded in on every exit path). The endpoint is dropped on exit,
+/// so peers blocked on this worker wake with `PeerDisconnected` instead
+/// of hanging.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     plan: &WorkerPlan,
@@ -357,6 +406,31 @@ fn worker_loop(
     epochs: usize,
     cfg: &ExecConfig,
     run: &RunState,
+    origin: Instant,
+    tx: mpsc::Sender<(usize, usize, WorkerReport)>,
+) -> (
+    std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure>,
+    MetricsFrame,
+) {
+    let rec = MetricsRecorder::new(ep.id(), origin);
+    let res = worker_body(plan, model, dataset, &ep, epochs, cfg, run, &rec, tx);
+    export_net_stats(&rec, &ep.stats());
+    drop(ep);
+    (res, rec.finish())
+}
+
+/// The instrumented body of [`worker_loop`], split out so the fabric
+/// meters can be snapshotted after it returns, clean or failed.
+#[allow(clippy::too_many_arguments)]
+fn worker_body(
+    plan: &WorkerPlan,
+    model: &GnnModel,
+    dataset: &Dataset,
+    ep: &Endpoint,
+    epochs: usize,
+    cfg: &ExecConfig,
+    run: &RunState,
+    rec: &MetricsRecorder,
     tx: mpsc::Sender<(usize, usize, WorkerReport)>, // (epoch, worker, report)
 ) -> std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure> {
     let m = ep.world();
@@ -375,6 +449,7 @@ fn worker_loop(
     // Local feature matrix (owned rows + prefetched cached features —
     // DepCache's one-time dependency retrieval, Algorithm 2 line 5).
     let features = dataset.features.gather_rows(&plan.feature_rows);
+    rec.incr("dep.rows.cached", plan.prefetched_features() as u64);
 
     // Labels and loss weights over owned rows.
     let total_train = dataset.num_train().max(1);
@@ -394,6 +469,7 @@ fn worker_loop(
     for epoch in 0..epochs {
         let abs_epoch = run.epoch_offset + epoch;
         ep.set_epoch(abs_epoch);
+        rec.set_epoch(abs_epoch as u32);
         if run.fault.kill_epoch(me) == Some(abs_epoch) {
             // Injected crash: return without sending anything this epoch.
             // Dropping the endpoint disconnects every peer channel.
@@ -410,79 +486,106 @@ fn worker_loop(
         let mut prev = features.clone();
         for lz in 0..num_layers {
             let lp = &plan.layers[lz];
-            // GetFromDepNbr, send side: masters push their rows.
-            for j in peer_order(me, m, cfg.ring_order) {
-                if lp.send_ids[j].is_empty() {
-                    continue;
+            rec.incr("dep.rows.local", lp.local_src.len() as u64);
+            rec.incr("dep.rows.fetched", lp.recv_row_count() as u64);
+            // Dependency exchange and input assembly run under one
+            // FwdComm span (the local-row copies are memcpy noise next
+            // to the fabric traffic they interleave with).
+            let input = {
+                let _comm = span!(rec, Phase::FwdComm, lz);
+                // GetFromDepNbr, send side: masters push their rows.
+                for j in peer_order(me, m, cfg.ring_order) {
+                    if lp.send_ids[j].is_empty() {
+                        continue;
+                    }
+                    let rows = prev.gather_rows(&lp.send_rows[j]);
+                    ep.send(
+                        j,
+                        MessageKind::Rows {
+                            layer: lz as u32,
+                            ids: lp.send_ids[j].clone(),
+                            cols: rows.cols() as u32,
+                            data: rows.into_vec(),
+                        },
+                    )
+                    .map_err(|e| fail(abs_epoch, false, e))?;
                 }
-                let rows = prev.gather_rows(&lp.send_rows[j]);
-                ep.send(
-                    j,
-                    MessageKind::Rows {
-                        layer: lz as u32,
-                        ids: lp.send_ids[j].clone(),
-                        cols: rows.cols() as u32,
-                        data: rows.into_vec(),
-                    },
-                )
-                .map_err(|e| fail(abs_epoch, false, e))?;
-            }
-            // Assemble the layer-input matrix.
-            let d_in = dims[lz];
-            let mut input = Tensor::zeros(lp.input_ids.len(), d_in);
-            for &(pr, ir) in &lp.local_src {
-                input
-                    .row_mut(ir as usize)
-                    .copy_from_slice(prev.row(pr as usize));
-            }
-            for j in 0..m {
-                if lp.recv_ids[j].is_empty() {
-                    continue;
-                }
-                let msg =
-                    recv_retry(&ep, j, &run.recv).map_err(|e| fail(abs_epoch, false, e))?;
-                let got = msg.kind.name();
-                let MessageKind::Rows { layer, ids, cols, data } = msg.kind else {
-                    return Err(fail(
-                        abs_epoch,
-                        false,
-                        NetError::UnexpectedKind { peer: j, expected: "Rows", got },
-                    ));
-                };
-                assert_eq!(layer as usize, lz, "layer mismatch");
-                assert_eq!(cols as usize, d_in, "width mismatch");
-                assert_eq!(ids, lp.recv_ids[j], "id schedule mismatch");
-                for (k, &r) in lp.recv_rows[j].iter().enumerate() {
+                // Assemble the layer-input matrix.
+                let d_in = dims[lz];
+                let mut input = Tensor::zeros(lp.input_ids.len(), d_in);
+                for &(pr, ir) in &lp.local_src {
                     input
-                        .row_mut(r as usize)
-                        .copy_from_slice(&data[k * d_in..(k + 1) * d_in]);
+                        .row_mut(ir as usize)
+                        .copy_from_slice(prev.row(pr as usize));
                 }
-            }
-            let run_seg = model.layer(lz).forward(&store, &lp.topo, input);
+                for j in 0..m {
+                    if lp.recv_ids[j].is_empty() {
+                        continue;
+                    }
+                    let msg = recv_retry(ep, j, &run.recv, rec)
+                        .map_err(|e| fail(abs_epoch, false, e))?;
+                    let got = msg.kind.name();
+                    let MessageKind::Rows { layer, ids, cols, data } = msg.kind else {
+                        return Err(fail(
+                            abs_epoch,
+                            false,
+                            NetError::UnexpectedKind { peer: j, expected: "Rows", got },
+                        ));
+                    };
+                    assert_eq!(layer as usize, lz, "layer mismatch");
+                    assert_eq!(cols as usize, d_in, "width mismatch");
+                    assert_eq!(ids, lp.recv_ids[j], "id schedule mismatch");
+                    for (k, &r) in lp.recv_rows[j].iter().enumerate() {
+                        input
+                            .row_mut(r as usize)
+                            .copy_from_slice(&data[k * d_in..(k + 1) * d_in]);
+                    }
+                }
+                input
+            };
+            let run_seg = {
+                let _fwd = span!(rec, Phase::FwdCompute, lz);
+                model.layer(lz).forward(&store, &lp.topo, input)
+            };
             prev = run_seg.output().clone();
             runs.push(run_seg);
         }
 
         // ---- prediction head ----
         let logits = prev;
-        let head = softmax_cross_entropy(&logits, &owned_labels, &loss_weights);
-        let counts = [
-            accuracy(&logits, &owned_labels, &masks[0]),
-            accuracy(&logits, &owned_labels, &masks[1]),
-            accuracy(&logits, &owned_labels, &masks[2]),
-        ];
+        let (head, counts) = {
+            let _head = span!(rec, Phase::Head);
+            let head = softmax_cross_entropy(&logits, &owned_labels, &loss_weights);
+            let counts = [
+                accuracy(&logits, &owned_labels, &masks[0]),
+                accuracy(&logits, &owned_labels, &masks[1]),
+                accuracy(&logits, &owned_labels, &masks[2]),
+            ];
+            (head, counts)
+        };
 
         // ---- backward ----
         let mut grads = store.zero_grads();
         let mut g = head.logit_grad;
         for lz in (0..num_layers).rev() {
             let run_seg = runs.pop().expect("one run per layer");
-            let (input_grad, _) = run_seg.backward(g, &mut grads);
+            let fwd_graph_ns = run_seg.fwd_graph_ns();
+            let fwd_nn_ns = run_seg.fwd_nn_ns();
+            let (input_grad, bwd_graph_ns, bwd_nn_ns) = {
+                let _bwd = span!(rec, Phase::BwdCompute, lz);
+                let (input_grad, _, bg, bn) = run_seg.backward_split(g, &mut grads);
+                (input_grad, bg, bn)
+            };
+            rec.add_layer_split(
+                lz,
+                LayerSplit { fwd_graph_ns, fwd_nn_ns, bwd_graph_ns, bwd_nn_ns },
+            );
             let lp = &plan.layers[lz];
             if lz == 0 {
                 // Feature gradients are not propagated anywhere.
                 break;
             }
+            let _comm = span!(rec, Phase::BwdComm, lz);
             let d = dims[lz];
             // PostToDepNbr: mirror gradients return to their masters.
             for j in peer_order(me, m, cfg.ring_order) {
@@ -516,8 +619,8 @@ fn worker_loop(
                 if lp.send_ids[j].is_empty() {
                     continue;
                 }
-                let msg =
-                    recv_retry(&ep, j, &run.recv).map_err(|e| fail(abs_epoch, false, e))?;
+                let msg = recv_retry(ep, j, &run.recv, rec)
+                    .map_err(|e| fail(abs_epoch, false, e))?;
                 let got = msg.kind.name();
                 let MessageKind::Grads { layer, ids, cols, data } = msg.kind else {
                     return Err(fail(
@@ -540,12 +643,18 @@ fn worker_loop(
         }
 
         // ---- parameter update ----
-        match cfg.sync {
-            SyncMode::AllReduce => ring_allreduce(&ep, &run.recv, &mut grads),
-            SyncMode::ParameterServer => ps_reduce(&ep, &run.recv, &mut grads),
+        {
+            let _sync = span!(rec, Phase::SyncWait);
+            match cfg.sync {
+                SyncMode::AllReduce => ring_allreduce(ep, &run.recv, rec, &mut grads),
+                SyncMode::ParameterServer => ps_reduce(ep, &run.recv, rec, &mut grads),
+            }
+            .map_err(|e| fail(abs_epoch, true, e))?;
         }
-        .map_err(|e| fail(abs_epoch, true, e))?;
-        opt.step(&mut store, &grads);
+        {
+            let _opt = span!(rec, Phase::OptStep);
+            opt.step(&mut store, &grads);
+        }
 
         let report = WorkerReport {
             loss: head.loss,
@@ -580,7 +689,7 @@ pub fn train_epochs(
     epochs: usize,
     cfg: &ExecConfig,
 ) -> Result<(Vec<EpochMetrics>, ParamStore)> {
-    let (metrics, store, _) =
+    let (metrics, store, _, _) =
         train_epochs_run(dataset, model, plans, epochs, cfg, &RunState::default())?;
     Ok((metrics, store))
 }
@@ -588,11 +697,13 @@ pub fn train_epochs(
 /// [`train_epochs`] with explicit cross-chunk [`RunState`]: resume
 /// parameters / optimizer state, an epoch offset, injected faults, and
 /// the receive policy. Also returns the exported optimizer state so the
-/// recovery loop can checkpoint it.
+/// recovery loop can checkpoint it, plus the run's [`RunMetrics`] (one
+/// merged frame per worker: phase spans, layer graph/NN splits, and
+/// fabric traffic meters).
 ///
 /// On failure, every worker thread has been joined before the error is
-/// returned; partially-completed epoch metrics are discarded (the caller
-/// rolls back to its last checkpoint).
+/// returned; partially-completed epoch metrics and the chunk's recorder
+/// frames are discarded (the caller rolls back to its last checkpoint).
 pub fn train_epochs_run(
     dataset: &Dataset,
     model: &GnnModel,
@@ -600,7 +711,7 @@ pub fn train_epochs_run(
     epochs: usize,
     cfg: &ExecConfig,
     run: &RunState,
-) -> Result<(Vec<EpochMetrics>, ParamStore, Option<AdamState>)> {
+) -> Result<(Vec<EpochMetrics>, ParamStore, Option<AdamState>, RunMetrics)> {
     let m = plans.len();
     if m == 0 {
         return Err(RuntimeError::InvalidConfig("no worker plans".into()));
@@ -614,14 +725,16 @@ pub fn train_epochs_run(
     }
     let endpoints = Fabric::with_faults(m, run.fault.clone()).into_endpoints();
     let (tx, rx) = mpsc::channel();
+    let origin = run.origin.unwrap_or_else(Instant::now);
+    let t_run = Instant::now();
 
     crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
         for (plan, ep) in plans.iter().zip(endpoints) {
             let tx = tx.clone();
-            handles.push(
-                s.spawn(move |_| worker_loop(plan, model, dataset, ep, epochs, cfg, run, tx)),
-            );
+            handles.push(s.spawn(move |_| {
+                worker_loop(plan, model, dataset, ep, epochs, cfg, run, origin, tx)
+            }));
         }
         drop(tx);
         // Aggregate metrics on the coordinating thread. The loop ends when
@@ -634,8 +747,11 @@ pub fn train_epochs_run(
         // Join everyone and split results from failures.
         let mut results = Vec::new();
         let mut failures: Vec<WorkerFailure> = Vec::new();
+        let mut run_metrics = RunMetrics::new();
         for h in handles {
-            match h.join().expect("worker thread panicked") {
+            let (res, frame) = h.join().expect("worker thread panicked");
+            run_metrics.absorb(frame);
+            match res {
                 Ok(out) => results.push(out),
                 Err(f) => failures.push(f),
             }
@@ -683,7 +799,8 @@ pub fn train_epochs_run(
             })
             .collect();
         let (store, opt_state) = results.into_iter().next().expect("at least one worker");
-        Ok((metrics, store, opt_state))
+        run_metrics.wall_s = t_run.elapsed().as_secs_f64();
+        Ok((metrics, store, opt_state, run_metrics))
     })
     .expect("worker scope panicked")
 }
@@ -852,7 +969,7 @@ mod tests {
             .with_seed(11)
             .with_fault(Fault::Drop { sel: MsgSel::any(), p: 0.15 });
         let run = RunState { fault: faulty_plan, ..Default::default() };
-        let (faulty, _, _) =
+        let (faulty, _, _, _) =
             train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run).unwrap();
         for (a, b) in clean.iter().zip(faulty.iter()) {
             // Drops only delay delivery; content and order are untouched,
@@ -874,10 +991,48 @@ mod tests {
                 .with_fault(Fault::Duplicate { sel: MsgSel::any(), p: 1.0 }),
             ..Default::default()
         };
-        let (faulty, _, _) =
+        let (faulty, _, _, _) =
             train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run).unwrap();
         for (a, b) in clean.iter().zip(faulty.iter()) {
             assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn run_metrics_cover_all_workers_and_meter_traffic() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let (_, _, _, rm) =
+            train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &RunState::default())
+                .unwrap();
+        assert_eq!(rm.worker_ids(), vec![0, 1]);
+        assert!(rm.wall_s > 0.0);
+        for frame in rm.frames.values() {
+            // Every phase the executor touches must have accumulated time.
+            for phase in [
+                Phase::FwdComm,
+                Phase::FwdCompute,
+                Phase::Head,
+                Phase::BwdCompute,
+                Phase::BwdComm,
+                Phase::SyncWait,
+                Phase::OptStep,
+            ] {
+                assert!(frame.phase_total_ns(phase) > 0, "{} empty", phase.name());
+            }
+            // Per-kind traffic meters must add up to the totals.
+            let by_kind: u64 = ["rows", "grads", "allreduce", "control"]
+                .iter()
+                .map(|k| frame.counter(&format!("net.sent.bytes.{k}")))
+                .sum();
+            assert!(frame.counter("net.sent.bytes") > 0);
+            assert_eq!(frame.counter("net.sent.bytes"), by_kind);
+            // Two layers of a 2-layer model record a split each.
+            assert_eq!(frame.layer_split.len(), 2);
+            assert!(frame.layer_split.iter().any(|s| s.fwd_nn_ns > 0));
+            assert!(!frame.spans.is_empty());
         }
     }
 
@@ -888,9 +1043,9 @@ mod tests {
         let model =
             GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
         let cfg = ExecConfig::default(); // Adam: state must carry over.
-        let (full, full_store, _) =
+        let (full, full_store, _, _) =
             train_epochs_run(&ds, &model, &plans, 4, &cfg, &RunState::default()).unwrap();
-        let (head, mid_store, mid_opt) =
+        let (head, mid_store, mid_opt, _) =
             train_epochs_run(&ds, &model, &plans, 2, &cfg, &RunState::default()).unwrap();
         let resume = RunState {
             epoch_offset: 2,
@@ -898,7 +1053,7 @@ mod tests {
             opt_state: mid_opt,
             ..Default::default()
         };
-        let (tail, tail_store, _) =
+        let (tail, tail_store, _, _) =
             train_epochs_run(&ds, &model, &plans, 2, &cfg, &resume).unwrap();
         let joined: Vec<&EpochMetrics> = head.iter().chain(tail.iter()).collect();
         assert_eq!(joined.len(), full.len());

@@ -23,12 +23,20 @@
 //! cluster comes from [`taskgraph`], which compiles a plan into an
 //! `ns-net` task DAG (ring send order, per-chunk overlap dependencies,
 //! all-reduce rounds) for the event simulator.
+//!
+//! Every run is metered by the `ns-metrics` recorder: workers time each
+//! phase (dependency exchange, layer compute, gradient sync, optimizer
+//! step) and the fabric's traffic counters are folded into the
+//! [`TrainingReport`](crate::trainer::TrainingReport); [`obs`] bridges
+//! the simulator's busy timeline onto the same trace. See
+//! `docs/OBSERVABILITY.md` for the full catalog.
 
 pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod hybrid;
 pub mod memory;
+pub mod obs;
 pub mod plan;
 pub mod recovery;
 pub mod taskgraph;
@@ -36,6 +44,7 @@ pub mod trainer;
 
 pub use error::{FailureCause, RuntimeError};
 pub use exec::{RecvConfig, RunState};
+pub use obs::{sim_breakdown, sim_spans, utilization_trace, SimBreakdown};
 pub use hybrid::HybridConfig;
 pub use recovery::{Checkpoint, RecoveryConfig};
 pub use trainer::{EngineKind, EpochStats, Trainer, TrainerConfig, TrainingReport};

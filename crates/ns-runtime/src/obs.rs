@@ -1,0 +1,131 @@
+//! Bridges from the discrete-event cluster simulator's output to the
+//! observability layer: busy intervals become [`SimSpan`]s on the
+//! modeled-clock track of the Chrome trace, and the derived summaries
+//! (communication/computation share, utilization time-series) that the
+//! figure benches print are computed here instead of being re-derived
+//! ad hoc at every call site.
+
+use ns_metrics::SimSpan;
+use ns_net::sim::{ResourceKind, SimReport};
+
+/// Resource label for each slot of `SimReport::busy[worker]`, matching
+/// the track names the trace sink renders.
+const RESOURCE_NAMES: [&str; 3] = ["device", "nic_out", "nic_in"];
+
+/// Converts a simulator report's busy intervals into trace spans on the
+/// modeled clock (microseconds). One span per busy interval, labeled
+/// `"device"`, `"nic_out"`, or `"nic_in"`, suitable for
+/// [`ns_metrics::RunMetrics::sim_spans`].
+pub fn sim_spans(report: &SimReport) -> Vec<SimSpan> {
+    let mut out = Vec::new();
+    for (worker, resources) in report.busy.iter().enumerate() {
+        for (ridx, intervals) in resources.iter().enumerate() {
+            for &(start, end) in intervals {
+                out.push(SimSpan {
+                    worker,
+                    resource: RESOURCE_NAMES[ridx],
+                    start_us: start * 1e6,
+                    end_us: end * 1e6,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The communication/computation split of one simulated epoch, as plotted
+/// in the paper's Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBreakdown {
+    /// Modeled seconds per epoch (the makespan).
+    pub epoch_s: f64,
+    /// Mean per-worker ingress busy seconds — the epoch's communication
+    /// share.
+    pub comm_s: f64,
+    /// The remainder attributed to computation (clamped at zero).
+    pub compute_s: f64,
+}
+
+/// Splits a simulated epoch into communication and computation shares:
+/// ingress-NIC busy time averaged over workers, with the rest of the
+/// makespan counted as compute.
+pub fn sim_breakdown(report: &SimReport) -> SimBreakdown {
+    let workers = report.busy.len().max(1);
+    let comm_s = report.total_busy(ResourceKind::NicIn) / workers as f64;
+    SimBreakdown {
+        epoch_s: report.makespan,
+        comm_s,
+        compute_s: (report.makespan - comm_s).max(0.0),
+    }
+}
+
+/// One worker's utilization time-series over the whole simulated epoch,
+/// split into `buckets` equal windows — the trace format of the paper's
+/// Fig. 13. Returns an empty series when the report has no extent.
+pub fn utilization_trace(
+    report: &SimReport,
+    worker: usize,
+    kind: ResourceKind,
+    buckets: usize,
+) -> Vec<f64> {
+    if report.makespan <= 0.0 || buckets == 0 {
+        return Vec::new();
+    }
+    let bucket = report.makespan / buckets as f64;
+    let mut series = report.utilization(worker, kind, bucket, report.makespan);
+    // `makespan / bucket` can round up to an extra sliver bucket.
+    series.truncate(buckets);
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 2.0,
+            finish: vec![2.0],
+            busy: vec![
+                [vec![(0.0, 1.0)], vec![(0.5, 1.0)], vec![(1.0, 1.5)]],
+                [vec![(0.0, 2.0)], vec![], vec![(0.5, 1.0)]],
+            ],
+            bytes_in: vec![vec![], vec![]],
+        }
+    }
+
+    #[test]
+    fn spans_cover_every_busy_interval_in_microseconds() {
+        let spans = sim_spans(&report());
+        assert_eq!(spans.len(), 5);
+        let dev0: Vec<_> = spans
+            .iter()
+            .filter(|s| s.worker == 0 && s.resource == "device")
+            .collect();
+        assert_eq!(dev0.len(), 1);
+        assert_eq!(dev0[0].start_us, 0.0);
+        assert_eq!(dev0[0].end_us, 1e6);
+        assert!(spans.iter().any(|s| s.resource == "nic_in" && s.worker == 1));
+    }
+
+    #[test]
+    fn breakdown_splits_makespan_into_comm_and_compute() {
+        let b = sim_breakdown(&report());
+        assert_eq!(b.epoch_s, 2.0);
+        // Ingress busy: 0.5s (w0) + 0.5s (w1), over 2 workers.
+        assert!((b.comm_s - 0.5).abs() < 1e-12);
+        assert!((b.compute_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_trace_buckets_span_the_epoch() {
+        let r = report();
+        let series = utilization_trace(&r, 1, ResourceKind::Device, 4);
+        assert_eq!(series.len(), 4);
+        // Worker 1's device is busy the whole epoch.
+        for u in series {
+            assert!((u - 1.0).abs() < 1e-9);
+        }
+        assert!(utilization_trace(&r, 0, ResourceKind::Device, 0).is_empty());
+    }
+}

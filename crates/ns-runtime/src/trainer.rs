@@ -1,7 +1,10 @@
 //! High-level training entry point combining planning, simulation, and
 //! real execution.
 
+use std::time::Instant;
+
 use ns_gnn::GnnModel;
+use ns_metrics::{span, MetricsRecorder, Phase, RunMetrics, COORDINATOR};
 use ns_graph::{Dataset, Partitioner};
 use ns_net::fault::FaultPlan;
 use ns_net::sim::{simulate, ResourceKind, SimReport};
@@ -168,6 +171,13 @@ pub struct TrainingReport {
     /// for every rollback-and-resume the run performed. Empty for clean
     /// runs and for runs without recovery enabled.
     pub recoveries: Vec<(usize, usize, String)>,
+    /// Observability data for the whole run: one merged frame per worker
+    /// (phase spans, layer graph/NN splits, fabric traffic meters), a
+    /// coordinator frame with checkpoint/rollback activity, and the
+    /// simulated-epoch busy timeline. Render with
+    /// [`ns_metrics::summary_table`], [`ns_metrics::to_json`], or
+    /// [`ns_metrics::to_chrome_trace`].
+    pub metrics: RunMetrics,
 }
 
 impl TrainingReport {
@@ -385,12 +395,18 @@ impl<'a> Trainer<'a> {
     /// The checkpointed epoch loop: run chunks of `checkpoint_every`
     /// epochs, snapshot after each, and on a worker failure roll back to
     /// the last checkpoint and resume on the survivors.
+    ///
+    /// Observability: one trace-clock origin is threaded through every
+    /// chunk so all spans land on a single timeline, and a coordinator
+    /// recorder times checkpoint capture/restore and counts rollbacks.
+    /// Frames from a *failed* chunk are discarded with its metrics (the
+    /// chunk is atomic); the rollback itself is what gets recorded.
     #[allow(clippy::type_complexity)]
     fn train_recovering(
         &self,
         epochs: usize,
         exec_cfg: &ExecConfig,
-    ) -> Result<(Vec<EpochMetrics>, ParamStore, Vec<(usize, usize, String)>)> {
+    ) -> Result<(Vec<EpochMetrics>, ParamStore, Vec<(usize, usize, String)>, RunMetrics)> {
         let cadence = self.cfg.recovery.checkpoint_every;
         let mut plans = self.plans.clone();
         let mut engine = self.cfg.engine;
@@ -399,21 +415,31 @@ impl<'a> Trainer<'a> {
         let mut metrics: Vec<EpochMetrics> = Vec::new();
         let mut recoveries = Vec::new();
         let mut restarts = 0usize;
+        let origin = Instant::now();
+        let coord = MetricsRecorder::new(COORDINATOR, origin);
+        let mut run_metrics = RunMetrics::new();
         while ckpt.next_epoch < epochs {
             let chunk = cadence.min(epochs - ckpt.next_epoch);
-            let (init_params, opt_state) = ckpt
-                .restore()
-                .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?;
+            coord.set_epoch(ckpt.next_epoch as u32);
+            let (init_params, opt_state) = {
+                let _load = span!(&coord, Phase::CkptLoad);
+                ckpt.restore()
+                    .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?
+            };
             let run = RunState {
                 epoch_offset: ckpt.next_epoch,
                 init_params,
                 opt_state,
                 fault: fault.clone(),
                 recv: self.cfg.recv,
+                origin: Some(origin),
             };
             match train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run) {
-                Ok((chunk_metrics, store, opt)) => {
+                Ok((chunk_metrics, store, opt, chunk_run)) => {
                     metrics.extend(chunk_metrics);
+                    run_metrics.merge(chunk_run);
+                    let _save = span!(&coord, Phase::CkptSave);
+                    coord.incr("recovery.checkpoints", 1);
                     ckpt = Checkpoint::capture(ckpt.next_epoch + chunk, &store, opt);
                 }
                 Err(RuntimeError::WorkerFailed { worker, epoch, .. })
@@ -428,6 +454,7 @@ impl<'a> Trainer<'a> {
                     // re-fire it. Any remaining faults address the *new*
                     // worker numbering.
                     restarts += 1;
+                    coord.incr("recovery.rollbacks", 1);
                     fault.retire_kill(worker, epoch);
                     let survivors = plans.len() - 1;
                     let (new_plans, new_engine) = self.replan(engine, survivors)?;
@@ -438,13 +465,17 @@ impl<'a> Trainer<'a> {
                 Err(e) => return Err(e),
             }
         }
-        let (final_params, _) = ckpt
-            .restore()
-            .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?;
+        let (final_params, _) = {
+            let _load = span!(&coord, Phase::CkptLoad);
+            ckpt.restore()
+                .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?
+        };
+        run_metrics.absorb(coord.finish());
         Ok((
             metrics,
             final_params.unwrap_or_else(|| self.model.fresh_store()),
             recoveries,
+            run_metrics,
         ))
     }
 
@@ -461,18 +492,27 @@ impl<'a> Trainer<'a> {
             ring_order: self.cfg.opts.ring,
             sync: self.cfg.sync,
         };
-        let (metrics, final_params, recoveries) = if self.cfg.recovery.enabled() {
-            self.train_recovering(epochs, &exec_cfg)?
-        } else {
-            let run = RunState {
-                fault: self.cfg.fault.clone(),
-                recv: self.cfg.recv,
-                ..Default::default()
+        let (metrics, final_params, recoveries, mut run_metrics) =
+            if self.cfg.recovery.enabled() {
+                self.train_recovering(epochs, &exec_cfg)?
+            } else {
+                let run = RunState {
+                    fault: self.cfg.fault.clone(),
+                    recv: self.cfg.recv,
+                    ..Default::default()
+                };
+                let (m, p, _, rm) = train_epochs_run(
+                    self.dataset,
+                    self.model,
+                    &self.plans,
+                    epochs,
+                    &exec_cfg,
+                    &run,
+                )?;
+                (m, p, Vec::new(), rm)
             };
-            let (m, p, _) =
-                train_epochs_run(self.dataset, self.model, &self.plans, epochs, &exec_cfg, &run)?;
-            (m, p, Vec::new())
-        };
+        // Lay the modeled-clock timeline alongside the real-clock spans.
+        run_metrics.sim_spans = crate::obs::sim_spans(&sim.report);
         let epochs_out = metrics
             .into_iter()
             .enumerate()
@@ -508,6 +548,7 @@ impl<'a> Trainer<'a> {
             },
             final_params,
             recoveries,
+            metrics: run_metrics,
         })
     }
 }
@@ -545,6 +586,9 @@ mod tests {
                 engine.name()
             );
             assert!(report.recoveries.is_empty());
+            assert_eq!(report.metrics.worker_ids().len(), 4, "{}", engine.name());
+            assert!(!report.metrics.sim_spans.is_empty(), "{}", engine.name());
+            assert!(report.metrics.total_counter("net.sent.bytes") > 0);
         }
     }
 
@@ -643,6 +687,15 @@ mod tests {
             report.final_loss() < report.epochs[0].loss,
             "recovered run must still learn"
         );
+        let coord = report
+            .metrics
+            .frames
+            .get(&COORDINATOR)
+            .expect("coordinator frame");
+        assert_eq!(coord.counter("recovery.rollbacks"), 1);
+        assert_eq!(coord.counter("recovery.checkpoints"), 5);
+        assert!(coord.phase_total_ns(Phase::CkptSave) > 0);
+        assert!(coord.phase_total_ns(Phase::CkptLoad) > 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! worker via `PostToDepNbr`) and is injected as the seed.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::tensor::Tensor;
 
@@ -81,10 +82,42 @@ struct Node {
 }
 
 /// Append-only autograd arena.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     flops: u64,
+    /// Wall time accrued to graph operators (gather/scatter/aggregate/
+    /// segment-softmax), forward and backward combined. See [`Tape::graph_op_ns`].
+    graph_ns: u64,
+    /// Wall time accrued to NN operators (everything else).
+    nn_ns: u64,
+    /// Timestamp of the most recent tape event; the gap to the next recorded
+    /// op accrues to that op's kind.
+    last_event: Instant,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape {
+            nodes: Vec::new(),
+            flops: 0,
+            graph_ns: 0,
+            nn_ns: 0,
+            last_event: Instant::now(),
+        }
+    }
+}
+
+/// Is this operator a *graph* op (neighborhood data movement / aggregation,
+/// Fig. 6's decoupled graph-op set) as opposed to an in-worker NN op?
+fn is_graph_op(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::GatherRows(..)
+            | Op::ScatterAddRows(..)
+            | Op::WeightedAggregate { .. }
+            | Op::MaxAggregate { .. }
+            | Op::SegmentSoftmax(..)
+    )
 }
 
 impl Tape {
@@ -109,7 +142,32 @@ impl Tape {
         self.flops
     }
 
+    /// Wall-clock nanoseconds accrued to graph operators so far (forward and
+    /// backward combined). Monotonically increasing; callers snapshot and diff.
+    ///
+    /// Attribution is at tape granularity: the elapsed time between
+    /// consecutive tape events accrues to the kind (graph vs NN) of the
+    /// operator just recorded, so interleaved flows like GAT attention split
+    /// honestly without per-operator instrumentation.
+    pub fn graph_op_ns(&self) -> u64 {
+        self.graph_ns
+    }
+
+    /// Wall-clock nanoseconds accrued to NN operators so far. Counterpart of
+    /// [`Tape::graph_op_ns`].
+    pub fn nn_op_ns(&self) -> u64 {
+        self.nn_ns
+    }
+
     fn push(&mut self, op: Op, value: Tensor, flops: u64) -> Var {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_event).as_nanos() as u64;
+        self.last_event = now;
+        if is_graph_op(&op) {
+            self.graph_ns += dt;
+        } else {
+            self.nn_ns += dt;
+        }
         self.flops += flops;
         self.nodes.push(Node { op, value, grad: None });
         Var(self.nodes.len() - 1)
@@ -362,6 +420,12 @@ impl Tape {
             "backward_from: seed shape mismatch"
         );
         self.accumulate(root, seed);
+        // Graph-op vs NN-op wall-time attribution for the backward scan:
+        // accrue each node's elapsed time locally and fold into the tape
+        // counters once at the end (the node borrow blocks accruing inline).
+        let mut graph_acc = 0u64;
+        let mut nn_acc = 0u64;
+        let mut last = Instant::now();
         for i in (0..=root.0).rev() {
             // Drain the gradient of interior nodes as we propagate it, so a
             // later `backward_from` call only pushes newly-seeded gradient.
@@ -377,6 +441,7 @@ impl Tape {
                     None => continue,
                 }
             };
+            let node_is_graph = is_graph_op(&self.nodes[i].op);
             // Count backward flops roughly symmetrical to forward.
             match &self.nodes[i].op {
                 Op::Leaf => {}
@@ -605,7 +670,18 @@ impl Tape {
                     self.accumulate(x, Tensor::full(shape.0, shape.1, gs));
                 }
             }
+            let now = Instant::now();
+            let dt = now.duration_since(last).as_nanos() as u64;
+            last = now;
+            if node_is_graph {
+                graph_acc += dt;
+            } else {
+                nn_acc += dt;
+            }
         }
+        self.graph_ns += graph_acc;
+        self.nn_ns += nn_acc;
+        self.last_event = last;
     }
 }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the repo's markdown docs resolve.
+
+Checks every ``[text](target)`` link in the tracked markdown files:
+relative file targets must point at files that exist (in-page anchors
+are stripped first). External links (http/https/mailto) are left alone —
+CI must not depend on the network. Exits non-zero listing every broken
+link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = sorted(
+    p
+    for p in ROOT.rglob("*.md")
+    if not any(part in {"target", ".git", "results"} for part in p.parts)
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main() -> int:
+    broken = []
+    for doc in DOCS:
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            rel = doc.relative_to(ROOT)
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{rel}: broken link -> {target}")
+    if broken:
+        print("\n".join(broken))
+        return 1
+    print(f"checked {len(DOCS)} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

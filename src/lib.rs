@@ -9,6 +9,7 @@ pub use neutronstar;
 pub use ns_baselines;
 pub use ns_gnn;
 pub use ns_graph;
+pub use ns_metrics;
 pub use ns_net;
 pub use ns_runtime;
 pub use ns_tensor;

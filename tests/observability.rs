@@ -1,0 +1,166 @@
+//! Observability acceptance tests: a metered 4-worker hybrid run produces
+//! machine-parseable JSON and Chrome-trace artifacts, its per-kind /
+//! per-peer traffic counters partition the fabric totals exactly, and the
+//! all-reduce traffic matches the analytic ring formula — keeping the
+//! hand-rolled sink writers and the fabric metering honest against a real
+//! JSON parser and against arithmetic they do not share.
+
+use neutronstar::metrics::{to_chrome_trace, to_json, Phase};
+use neutronstar::prelude::*;
+use ns_graph::datasets::by_name;
+use ns_net::fabric::ALLREDUCE_HEADER_BYTES;
+use ns_net::KIND_NAMES;
+
+const WORKERS: usize = 4;
+const EPOCHS: usize = 2;
+
+fn metered_run() -> TrainingReport {
+    let ds = by_name("cora").unwrap().materialize(0.2, 7);
+    let model =
+        GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+    TrainingSession::builder()
+        .engine(EngineKind::Hybrid)
+        .cluster(ClusterSpec::aliyun_ecs(WORKERS))
+        .build(&ds, &model)
+        .expect("plan")
+        .train(EPOCHS)
+        .expect("train")
+}
+
+#[test]
+fn frames_cover_every_worker_and_phase_times_fit_the_wall() {
+    let report = metered_run();
+    let run = &report.metrics;
+    assert_eq!(run.worker_ids(), (0..WORKERS).collect::<Vec<_>>());
+    assert!(run.wall_s > 0.0);
+    for frame in run.frames.values() {
+        for phase in
+            [Phase::FwdCompute, Phase::BwdCompute, Phase::SyncWait, Phase::OptStep]
+        {
+            assert!(
+                frame.phase_total_ns(phase) > 0,
+                "worker {} spent no time in {phase:?}",
+                frame.worker
+            );
+        }
+        assert!(!frame.spans.is_empty());
+        // Phases are disjoint segments of the worker's run, so their sum
+        // must fit inside the run's wall time (generous scheduler slack).
+        let phase_sum_s: f64 =
+            frame.phase_ns.values().map(|&ns| ns as f64 / 1e9).sum();
+        assert!(
+            phase_sum_s <= run.wall_s * 1.25 + 0.05,
+            "worker {}: phase sum {phase_sum_s:.4}s exceeds wall {:.4}s",
+            frame.worker,
+            run.wall_s
+        );
+        // Both model layers were split into graph-op vs NN-op time.
+        assert_eq!(frame.layer_split.len(), 2);
+    }
+}
+
+#[test]
+fn per_kind_and_per_peer_counters_partition_the_totals() {
+    let report = metered_run();
+    for frame in report.metrics.frames.values() {
+        for unit in ["bytes", "msgs"] {
+            let total = frame.counter(&format!("net.sent.{unit}"));
+            assert!(total > 0, "worker {} sent nothing", frame.worker);
+            let by_kind: u64 = KIND_NAMES
+                .iter()
+                .map(|k| frame.counter(&format!("net.sent.{unit}.{k}")))
+                .sum();
+            assert_eq!(by_kind, total, "worker {} {unit} by kind", frame.worker);
+            let by_peer: u64 = (0..WORKERS)
+                .map(|p| frame.counter(&format!("net.sent.{unit}.peer{p}")))
+                .sum();
+            assert_eq!(by_peer, total, "worker {} {unit} by peer", frame.worker);
+        }
+        // Every received dependency row was metered as local, cached, or
+        // fetched — never silently unaccounted.
+        assert!(
+            frame.counter("dep.rows.local") > 0,
+            "worker {} metered no local rows",
+            frame.worker
+        );
+    }
+}
+
+/// Ring all-reduce moves each of the P gradient elements (m - 1) times in
+/// the reduce-scatter phase and (m - 1) times in the all-gather phase, in
+/// 2(m - 1) messages per worker per epoch. The fabric's byte meter must
+/// land on that closed form exactly.
+#[test]
+fn allreduce_traffic_matches_the_ring_closed_form() {
+    let report = metered_run();
+    let p: usize = report.final_params.iter().map(|(_, _, t)| t.len()).sum();
+    let run = &report.metrics;
+    let msgs = run.total_counter("net.sent.msgs.allreduce");
+    assert_eq!(msgs, (WORKERS * 2 * (WORKERS - 1) * EPOCHS) as u64);
+    let payload = (2 * (WORKERS - 1) * p * EPOCHS * std::mem::size_of::<f32>()) as u64;
+    assert_eq!(
+        run.total_counter("net.sent.bytes.allreduce"),
+        msgs * ALLREDUCE_HEADER_BYTES + payload
+    );
+}
+
+#[test]
+fn json_sink_parses_and_mirrors_the_frames() {
+    let report = metered_run();
+    let v: serde_json::Value =
+        serde_json::from_str(&to_json(&report.metrics)).expect("valid JSON");
+    assert_eq!(v["schema"].as_str(), Some("ns-metrics/v1"));
+    assert!(v["wall_s"].as_f64().unwrap() > 0.0);
+    let workers = v["workers"].as_array().expect("workers array");
+    assert_eq!(workers.len(), WORKERS, "no coordinator without recovery");
+    for (frame, entry) in report.metrics.frames.values().zip(workers) {
+        assert_eq!(entry["worker"].as_u64(), Some(frame.worker as u64));
+        assert_eq!(
+            entry["counters"]["net.sent.bytes"].as_u64(),
+            Some(frame.counter("net.sent.bytes"))
+        );
+        assert!(!entry["phases"].as_array().unwrap().is_empty());
+        assert_eq!(entry["layers"].as_array().unwrap().len(), 2);
+        let wait = &entry["histograms"]["net.recv.wait_ns"];
+        assert!(wait["count"].as_u64().unwrap() > 0);
+        assert!(wait["p99"].as_u64().unwrap() >= wait["p50"].as_u64().unwrap());
+    }
+}
+
+#[test]
+fn trace_sink_is_perfetto_shaped_with_one_track_per_worker() {
+    let report = metered_run();
+    let v: serde_json::Value =
+        serde_json::from_str(&to_chrome_trace(&report.metrics)).expect("valid JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents");
+
+    // One named real-clock track per worker, none missing, none extra.
+    let mut tracks: Vec<String> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M"))
+        .filter(|e| e["name"].as_str() == Some("thread_name"))
+        .filter(|e| e["pid"].as_u64() == Some(0))
+        .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+        .collect();
+    tracks.sort();
+    let expect: Vec<String> = (0..WORKERS).map(|w| format!("worker {w}")).collect();
+    assert_eq!(tracks, expect);
+
+    // Every retained span became exactly one complete event on its track.
+    let real_events: Vec<_> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X"))
+        .filter(|e| e["pid"].as_u64() == Some(0))
+        .collect();
+    let retained: usize =
+        report.metrics.frames.values().map(|f| f.spans.len()).sum();
+    assert_eq!(real_events.len(), retained);
+    for e in &real_events {
+        assert!(e["ts"].as_f64().unwrap() >= 0.0);
+        assert!(e["dur"].as_f64().unwrap() >= 0.0);
+    }
+
+    // The simulator timeline rides along as a second process.
+    assert!(!report.metrics.sim_spans.is_empty());
+    assert!(events.iter().any(|e| e["pid"].as_u64() == Some(1)));
+}
