@@ -7,7 +7,8 @@
 //! nts probe    --dataset livejournal --cluster ibv
 //! ```
 
-use neutronstar::cli::{parse, Command, RunArgs, USAGE};
+use neutronstar::chaos::{self, ChaosConfig};
+use neutronstar::cli::{parse, ChaosArgs, Command, RunArgs, USAGE};
 use neutronstar::metrics::{summary_table, to_chrome_trace, to_json};
 use neutronstar::prelude::*;
 use neutronstar::runtime::cost::probe;
@@ -22,6 +23,7 @@ fn main() {
         Ok(Command::Train(ra)) => run(&ra, Mode::Train),
         Ok(Command::Simulate(ra)) => run(&ra, Mode::Simulate),
         Ok(Command::Probe(ra)) => run(&ra, Mode::Probe),
+        Ok(Command::Chaos(ca)) => run_chaos(&ca),
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             std::process::exit(2);
@@ -52,6 +54,57 @@ enum Mode {
     Train,
     Simulate,
     Probe,
+}
+
+/// `nts chaos`: run seeded randomized fault schedules and check the
+/// robustness invariants; exit nonzero if any schedule violates one.
+fn run_chaos(ca: &ChaosArgs) {
+    let cfg = ChaosConfig {
+        dataset: ca.dataset.clone(),
+        scale: ca.scale,
+        workers: ca.workers,
+        epochs: ca.epochs,
+        checkpoint_every: ca.checkpoint_every,
+        ..ChaosConfig::default()
+    };
+    println!(
+        "chaos soak: {} schedules from seed {} | {} x{} workers, {} epochs, \
+         checkpoint every {}",
+        ca.schedules, ca.seed, cfg.dataset, cfg.workers, cfg.epochs, cfg.checkpoint_every,
+    );
+    let outcomes = match chaos::soak(&cfg, ca.seed, ca.schedules) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<6} {:<6} {:>10} {:>5} {:>7} {:>7}  {}",
+        "seed", "pass", "loss", "rec", "member", "replans", "schedule"
+    );
+    let mut failures = 0usize;
+    for o in &outcomes {
+        println!(
+            "{:<6} {:<6} {:>10.4} {:>5} {:>7} {:>7}  {}",
+            o.seed,
+            if o.passed() { "ok" } else { "FAIL" },
+            o.final_loss,
+            o.recoveries,
+            o.membership_events,
+            o.replans,
+            o.schedule,
+        );
+        for violation in &o.violations {
+            println!("       violation: {violation}");
+            failures += 1;
+        }
+    }
+    let passed = outcomes.iter().filter(|o| o.passed()).count();
+    println!("{passed}/{} schedules passed", outcomes.len());
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// Writes an observability artifact (metrics JSON or Chrome trace),
@@ -132,6 +185,7 @@ fn run(ra: &RunArgs, mode: Mode) {
         }
     };
     cfg.recovery = ra.recovery();
+    cfg.recv = ra.recv();
     let trainer = match neutronstar::runtime::Trainer::prepare(&dataset, &model, cfg) {
         Ok(t) => t,
         Err(e) => {
@@ -170,6 +224,25 @@ fn run(ra: &RunArgs, mode: Mode) {
                     println!(
                         "recovered: worker {worker} lost, rolled back to epoch \
                          {epoch}, resumed on {engine}"
+                    );
+                }
+                for e in &report.membership {
+                    println!(
+                        "membership: worker {} {} at epoch {}",
+                        e.worker,
+                        e.kind.name(),
+                        e.epoch
+                    );
+                }
+                for r in &report.replans {
+                    println!(
+                        "replan: epoch {} ({}) comm x{:.2}, moved {} deps to \
+                         cache / {} to comm",
+                        r.epoch,
+                        r.reason,
+                        r.comm_factor,
+                        r.moved_to_cached.iter().sum::<usize>(),
+                        r.moved_to_comm.iter().sum::<usize>(),
                     );
                 }
                 print!("{}", summary_table(&report.metrics));

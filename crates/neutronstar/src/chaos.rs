@@ -1,0 +1,513 @@
+//! Seeded chaos soak harness.
+//!
+//! Generates randomized-but-reproducible fault schedules (kills,
+//! stragglers, drops, delays, duplicates, optional rejoin), runs real
+//! recovering training under each, and checks the robustness invariants
+//! the elastic runtime promises:
+//!
+//! 1. training terminates with every epoch accounted for and a finite
+//!    final loss;
+//! 2. the final loss lands within a tolerance of the fault-free
+//!    baseline (faults may reorder float summation and reroute
+//!    dependencies, but must not corrupt the numerics);
+//! 3. every restart replays at most `checkpoint_every - 1` epochs
+//!    (checkpoint-bounded rollback);
+//! 4. every rejoin restores the full world size.
+//!
+//! Schedules are derived from a single `u64` seed via SplitMix64, so a
+//! failing seed reported by CI or `nts chaos` reproduces exactly.
+
+use std::fmt::Write as _;
+
+use ns_graph::datasets::by_name;
+use ns_graph::Dataset;
+use ns_gnn::{GnnModel, ModelKind};
+use ns_net::fault::{Fault, FaultPlan, MsgSel};
+use ns_net::membership::MembershipEventKind;
+use ns_net::ClusterSpec;
+use ns_runtime::{EngineKind, RecoveryConfig, RuntimeError, Trainer, TrainerConfig, TrainingReport};
+
+/// Fixed workload the soak runs: small enough to execute hundreds of
+/// times, large enough to exercise multi-chunk recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Registry dataset name.
+    pub dataset: String,
+    /// Materialization scale.
+    pub scale: f64,
+    /// Worker count (at least 2; kills need a survivor).
+    pub workers: usize,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Checkpoint cadence (bounds replay per restart).
+    pub checkpoint_every: usize,
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Relative final-loss tolerance versus the fault-free baseline.
+    pub loss_tolerance: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            dataset: "google".to_string(),
+            scale: 0.002,
+            workers: 3,
+            epochs: 6,
+            checkpoint_every: 2,
+            engine: EngineKind::DepComm,
+            loss_tolerance: 0.15,
+        }
+    }
+}
+
+/// One generated schedule: the fault plan plus the recovery knobs it is
+/// meant to be survived with.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// Seed the schedule was derived from.
+    pub seed: u64,
+    /// Faults, in generation order.
+    pub faults: Vec<Fault>,
+    /// Whether failed workers re-admit at checkpoint boundaries.
+    pub rejoin: bool,
+}
+
+impl ChaosSchedule {
+    /// Human-readable one-line summary of the schedule.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for f in &self.faults {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            match f {
+                Fault::Kill { worker, epoch } => {
+                    let _ = write!(s, "kill:w{worker}@e{epoch}");
+                }
+                Fault::Straggle { worker, delay_ms } => {
+                    let _ = write!(s, "straggle:w{worker}:{delay_ms}ms");
+                }
+                Fault::Drop { p, .. } => {
+                    let _ = write!(s, "drop:{p:.2}");
+                }
+                Fault::Delay { delay_ms, .. } => {
+                    let _ = write!(s, "delay:{delay_ms}ms");
+                }
+                Fault::Duplicate { p, .. } => {
+                    let _ = write!(s, "dup:{p:.2}");
+                }
+            }
+        }
+        if self.rejoin {
+            s.push_str(" +rejoin");
+        }
+        if s.is_empty() {
+            s.push_str("(fault-free)");
+        }
+        s
+    }
+}
+
+/// SplitMix64: the standard 64-bit mixing PRNG. Deterministic and
+/// dependency-free, so schedules reproduce everywhere.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Derives a randomized fault schedule from `seed`. Every schedule is
+/// survivable by construction: at most `max_restarts` kills, each at a
+/// distinct epoch for a distinct worker, and message-level faults stay
+/// within probabilities the retransmit/dedup machinery absorbs.
+pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
+    let mut rng = SplitMix64(seed ^ 0x6e74_735f_6368_616f); // "nts_chao"
+    let mut faults = Vec::new();
+    let restart_budget = RecoveryConfig::every(cfg.checkpoint_every).max_restarts as u64;
+
+    // 0..=min(2, budget) kills, distinct (worker, epoch) pairs.
+    let n_kills = rng.below(restart_budget.min(2) + 1);
+    let mut used_workers = Vec::new();
+    let mut used_epochs = Vec::new();
+    for _ in 0..n_kills {
+        let worker = rng.below(cfg.workers as u64) as usize;
+        let epoch = 1 + rng.below(cfg.epochs as u64 - 1) as usize;
+        if used_workers.contains(&worker) || used_epochs.contains(&epoch) {
+            continue; // fewer kills this seed; keeps the pair distinct
+        }
+        used_workers.push(worker);
+        used_epochs.push(epoch);
+        faults.push(Fault::Kill { worker, epoch });
+    }
+
+    // Optional straggler on a worker that is not killed.
+    if rng.unit() < 0.5 {
+        let worker = rng.below(cfg.workers as u64) as usize;
+        if !used_workers.contains(&worker) {
+            let delay_ms = 5 + rng.below(21);
+            faults.push(Fault::Straggle { worker, delay_ms });
+        }
+    }
+
+    // Message-level noise: drop (modeled loss + retransmission), fixed
+    // extra latency, duplicate delivery.
+    if rng.unit() < 0.5 {
+        faults.push(Fault::Drop { sel: MsgSel::any(), p: rng.unit() * 0.3 });
+    }
+    if rng.unit() < 0.5 {
+        faults.push(Fault::Delay { sel: MsgSel::any(), delay_ms: 1 + rng.below(10) });
+    }
+    if rng.unit() < 0.5 {
+        faults.push(Fault::Duplicate { sel: MsgSel::any(), p: rng.unit() * 0.5 });
+    }
+
+    ChaosSchedule { seed, faults, rejoin: rng.unit() < 0.7 }
+}
+
+/// The fault-free reference run the invariants compare against.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Final loss of the clean run.
+    pub final_loss: f64,
+}
+
+/// Outcome of one chaos run: the report's robustness-relevant facts plus
+/// any invariant violations (empty means the run upheld all of them).
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Seed of the schedule that ran.
+    pub seed: u64,
+    /// One-line schedule description.
+    pub schedule: String,
+    /// Final loss under faults.
+    pub final_loss: f64,
+    /// Rollback-and-resume recoveries performed.
+    pub recoveries: usize,
+    /// Membership transitions (failures, evictions, rejoins).
+    pub membership_events: usize,
+    /// Adaptive replans performed.
+    pub replans: usize,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Whether the run upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn materialize(cfg: &ChaosConfig) -> Result<(Dataset, GnnModel), String> {
+    let spec = by_name(&cfg.dataset)
+        .ok_or_else(|| format!("unknown dataset {:?}", cfg.dataset))?;
+    let ds = spec.materialize(cfg.scale, 11);
+    let model =
+        GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 32, ds.num_classes, 5);
+    Ok((ds, model))
+}
+
+fn train(
+    cfg: &ChaosConfig,
+    ds: &Dataset,
+    model: &GnnModel,
+    fault: FaultPlan,
+    rejoin: bool,
+) -> Result<TrainingReport, RuntimeError> {
+    let mut tc = TrainerConfig::new(cfg.engine, ClusterSpec::aliyun_ecs(cfg.workers));
+    tc.fault = fault;
+    tc.recovery = if rejoin {
+        RecoveryConfig::every(cfg.checkpoint_every).with_rejoin()
+    } else {
+        RecoveryConfig::every(cfg.checkpoint_every)
+    };
+    Trainer::prepare(ds, model, tc)?.train(cfg.epochs)
+}
+
+/// Runs the fault-free reference for `cfg`.
+pub fn baseline(cfg: &ChaosConfig) -> Result<Baseline, String> {
+    let (ds, model) = materialize(cfg)?;
+    let report = train(cfg, &ds, &model, FaultPlan::default(), false)
+        .map_err(|e| format!("baseline run failed: {e}"))?;
+    Ok(Baseline { final_loss: report.final_loss() as f64 })
+}
+
+/// Checks the report of a chaos run against the soak invariants.
+fn check_invariants(
+    cfg: &ChaosConfig,
+    schedule: &ChaosSchedule,
+    base: &Baseline,
+    report: &TrainingReport,
+) -> Vec<String> {
+    let mut v = Vec::new();
+
+    // 1. Termination: every epoch accounted for, finite loss.
+    if report.epochs.len() != cfg.epochs {
+        v.push(format!(
+            "expected {} epochs, got {}",
+            cfg.epochs,
+            report.epochs.len()
+        ));
+    }
+    let loss = report.final_loss() as f64;
+    if !loss.is_finite() {
+        v.push(format!("non-finite final loss {loss}"));
+    }
+
+    // 2. Loss within tolerance of the fault-free baseline.
+    let rel = (loss - base.final_loss).abs() / base.final_loss.abs().max(1e-9);
+    if rel > cfg.loss_tolerance {
+        v.push(format!(
+            "final loss {loss:.6} deviates {:.1}% from baseline {:.6} (> {:.1}%)",
+            rel * 100.0,
+            base.final_loss,
+            cfg.loss_tolerance * 100.0
+        ));
+    }
+
+    // 3. Checkpoint-bounded replay: each recovery pairs (in order) with
+    // a Failed membership event carrying the epoch the failure surfaced
+    // in; the rollback may replay at most cadence-1 completed epochs.
+    let failures: Vec<_> = report
+        .membership
+        .iter()
+        .filter(|e| e.kind == MembershipEventKind::Failed)
+        .collect();
+    if failures.len() != report.recoveries.len() {
+        v.push(format!(
+            "{} Failed events but {} recoveries",
+            failures.len(),
+            report.recoveries.len()
+        ));
+    }
+    for (fail, (worker, rollback_epoch, _)) in failures.iter().zip(&report.recoveries) {
+        if fail.worker != *worker {
+            v.push(format!(
+                "failure of worker {} recovered as worker {worker}",
+                fail.worker
+            ));
+        }
+        if fail.epoch < *rollback_epoch {
+            v.push(format!(
+                "rollback to epoch {rollback_epoch} is after the failure at {}",
+                fail.epoch
+            ));
+        } else if fail.epoch - rollback_epoch > cfg.checkpoint_every - 1 {
+            v.push(format!(
+                "restart replays {} epochs (failure at {}, rollback to \
+                 {rollback_epoch}); cadence {} bounds replay to {}",
+                fail.epoch - rollback_epoch,
+                fail.epoch,
+                cfg.checkpoint_every,
+                cfg.checkpoint_every - 1
+            ));
+        }
+    }
+    if report.recoveries.len() > RecoveryConfig::every(cfg.checkpoint_every).max_restarts {
+        v.push(format!("{} recoveries exceed the restart budget", report.recoveries.len()));
+    }
+
+    // 4. Every rejoin restores the full world: replay the membership log
+    // against the world size. The trainer re-admits every missing member
+    // at one checkpoint boundary, logging one Rejoined event per slot, so
+    // the full-world check applies after the *last* Rejoined of each
+    // same-epoch batch, not after each individual event.
+    let mut active = cfg.workers;
+    for (i, e) in report.membership.iter().enumerate() {
+        match e.kind {
+            MembershipEventKind::Failed | MembershipEventKind::Evicted => {
+                active -= 1;
+            }
+            MembershipEventKind::Rejoined => {
+                active += 1;
+                let batch_continues = report.membership.get(i + 1).is_some_and(|n| {
+                    n.kind == MembershipEventKind::Rejoined && n.epoch == e.epoch
+                });
+                if active != cfg.workers && !batch_continues {
+                    v.push(format!(
+                        "world has {active}/{} members after worker {} rejoined at \
+                         epoch {}",
+                        cfg.workers, e.worker, e.epoch
+                    ));
+                }
+            }
+        }
+    }
+    if schedule.rejoin && !report.membership.is_empty() {
+        // With rejoin on, any member lost before the last checkpoint
+        // boundary must have been re-admitted by then.
+        let last_boundary = (cfg.epochs / cfg.checkpoint_every) * cfg.checkpoint_every;
+        let lost_early = report
+            .membership
+            .iter()
+            .filter(|e| {
+                e.kind != MembershipEventKind::Rejoined
+                    && e.epoch + cfg.checkpoint_every < last_boundary
+            })
+            .count();
+        let rejoined = report
+            .membership
+            .iter()
+            .filter(|e| e.kind == MembershipEventKind::Rejoined)
+            .count();
+        if rejoined < lost_early {
+            v.push(format!(
+                "{lost_early} members lost with a boundary to spare but only \
+                 {rejoined} rejoined"
+            ));
+        }
+    }
+
+    v
+}
+
+/// Runs one seeded schedule and checks the invariants against `base`.
+pub fn run_schedule(
+    cfg: &ChaosConfig,
+    base: &Baseline,
+    schedule: &ChaosSchedule,
+) -> ChaosOutcome {
+    let describe = schedule.describe();
+    let (ds, model) = match materialize(cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            return ChaosOutcome {
+                seed: schedule.seed,
+                schedule: describe,
+                final_loss: f64::NAN,
+                recoveries: 0,
+                membership_events: 0,
+                replans: 0,
+                violations: vec![e],
+            }
+        }
+    };
+    let mut plan = FaultPlan::default().with_seed(schedule.seed);
+    for f in &schedule.faults {
+        plan = plan.with_fault(f.clone());
+    }
+    match train(cfg, &ds, &model, plan, schedule.rejoin) {
+        Ok(report) => {
+            let violations = check_invariants(cfg, schedule, base, &report);
+            ChaosOutcome {
+                seed: schedule.seed,
+                schedule: describe,
+                final_loss: report.final_loss() as f64,
+                recoveries: report.recoveries.len(),
+                membership_events: report.membership.len(),
+                replans: report.replans.len(),
+                violations,
+            }
+        }
+        Err(e) => ChaosOutcome {
+            seed: schedule.seed,
+            schedule: describe,
+            final_loss: f64::NAN,
+            recoveries: 0,
+            membership_events: 0,
+            replans: 0,
+            violations: vec![format!("run failed: {e}")],
+        },
+    }
+}
+
+/// Runs `count` schedules seeded `base_seed, base_seed+1, …` and returns
+/// every outcome. The fault-free baseline is computed once.
+pub fn soak(cfg: &ChaosConfig, base_seed: u64, count: usize) -> Result<Vec<ChaosOutcome>, String> {
+    let base = baseline(cfg)?;
+    Ok((0..count as u64)
+        .map(|i| run_schedule(cfg, &base, &generate(base_seed + i, cfg)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..50 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a.describe(), b.describe());
+            assert_eq!(a.rejoin, b.rejoin);
+        }
+    }
+
+    #[test]
+    fn schedules_vary_across_seeds() {
+        let cfg = ChaosConfig::default();
+        let descriptions: std::collections::BTreeSet<String> =
+            (0..32).map(|s| generate(s, &cfg).describe()).collect();
+        assert!(
+            descriptions.len() > 16,
+            "32 seeds should produce many distinct schedules, got {}",
+            descriptions.len()
+        );
+    }
+
+    #[test]
+    fn generated_kills_fit_the_restart_budget() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            let kills = s
+                .faults
+                .iter()
+                .filter(|f| matches!(f, Fault::Kill { .. }))
+                .count();
+            assert!(kills <= RecoveryConfig::every(cfg.checkpoint_every).max_restarts);
+            for f in &s.faults {
+                match f {
+                    Fault::Kill { worker, epoch } => {
+                        assert!(*worker < cfg.workers);
+                        assert!(*epoch >= 1 && *epoch < cfg.epochs);
+                    }
+                    Fault::Straggle { worker, delay_ms } => {
+                        assert!(*worker < cfg.workers);
+                        assert!((5..=25).contains(delay_ms));
+                        // Never straggles a worker that also dies.
+                        assert!(!s.faults.iter().any(|k| matches!(
+                            k,
+                            Fault::Kill { worker: kw, .. } if kw == worker
+                        )));
+                    }
+                    Fault::Drop { p, .. } => assert!(*p <= 0.3),
+                    Fault::Delay { delay_ms, .. } => assert!(*delay_ms <= 10),
+                    Fault::Duplicate { p, .. } => assert!(*p <= 0.5),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_schedule_passes_invariants() {
+        let cfg = ChaosConfig {
+            epochs: 2,
+            ..ChaosConfig::default()
+        };
+        let base = baseline(&cfg).unwrap();
+        let clean = ChaosSchedule { seed: 0, faults: Vec::new(), rejoin: false };
+        let outcome = run_schedule(&cfg, &base, &clean);
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert_eq!(outcome.recoveries, 0);
+    }
+}

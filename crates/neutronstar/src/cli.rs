@@ -11,7 +11,7 @@ use ns_graph::Partitioner;
 use ns_net::fault::{parse_fault, FaultPlan};
 use ns_net::{ClusterSpec, ExecOptions};
 use ns_runtime::exec::SyncMode;
-use ns_runtime::{EngineKind, RecoveryConfig};
+use ns_runtime::{EngineKind, RecoveryConfig, RecvConfig};
 
 /// A parsed `nts` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +24,44 @@ pub enum Command {
     Simulate(RunArgs),
     /// `nts probe ...` — print the Algorithm 4 cost factors.
     Probe(RunArgs),
+    /// `nts chaos ...` — seeded chaos soak over randomized fault
+    /// schedules.
+    Chaos(ChaosArgs),
     /// `nts help`.
     Help,
+}
+
+/// Options for `nts chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// Number of seeded schedules to run.
+    pub schedules: usize,
+    /// Base seed; schedule `i` uses `seed + i`.
+    pub seed: u64,
+    /// Dataset name from the registry.
+    pub dataset: String,
+    /// Materialization scale.
+    pub scale: f64,
+    /// Worker count.
+    pub workers: usize,
+    /// Training epochs per schedule.
+    pub epochs: usize,
+    /// Checkpoint cadence in epochs.
+    pub checkpoint_every: usize,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        Self {
+            schedules: 8,
+            seed: 42,
+            dataset: "google".to_string(),
+            scale: 0.002,
+            workers: 3,
+            epochs: 6,
+            checkpoint_every: 2,
+        }
+    }
 }
 
 /// Options shared by `train` / `simulate` / `probe`.
@@ -64,6 +100,10 @@ pub struct RunArgs {
     pub faults: Vec<String>,
     /// Checkpoint cadence in epochs; 0 disables recovery.
     pub checkpoint_every: usize,
+    /// Override for the first receive window in milliseconds.
+    pub recv_timeout_ms: Option<u64>,
+    /// Override for the number of doubled-window receive retries.
+    pub recv_retries: Option<u32>,
     /// Metrics JSON output path (train only).
     pub metrics_out: Option<String>,
     /// Chrome `trace_event` JSON output path (train only).
@@ -89,6 +129,8 @@ impl Default for RunArgs {
             save: None,
             faults: Vec::new(),
             checkpoint_every: 0,
+            recv_timeout_ms: None,
+            recv_retries: None,
             metrics_out: None,
             trace_out: None,
         }
@@ -119,6 +161,19 @@ impl RunArgs {
     pub fn recovery(&self) -> RecoveryConfig {
         RecoveryConfig::every(self.checkpoint_every)
     }
+
+    /// The receive policy: defaults with any `--recv-timeout-ms` /
+    /// `--recv-retries` overrides applied.
+    pub fn recv(&self) -> RecvConfig {
+        let mut rc = RecvConfig::default();
+        if let Some(ms) = self.recv_timeout_ms {
+            rc.timeout_ms = ms;
+        }
+        if let Some(n) = self.recv_retries {
+            rc.retries = n;
+        }
+        rc
+    }
 }
 
 /// Usage text.
@@ -130,6 +185,7 @@ USAGE:
   nts train    [options]
   nts simulate [options]
   nts probe    [options]
+  nts chaos    [chaos options]
 
 OPTIONS (train/simulate/probe):
   --dataset <name>        registry name (default google)
@@ -155,11 +211,25 @@ OPTIONS (train/simulate/probe):
                           drop/delay/dup accept @e<n> and @w<src>-w<dst>
   --checkpoint-every <n>  checkpoint cadence in epochs; 0 disables
                           rollback recovery (default 0)
+  --recv-timeout-ms <ms>  first receive window before a timeout retry
+                          (default 1000)
+  --recv-retries <n>      doubled-window retries after the first
+                          timeout before the peer is declared failed
+                          (default 3)
   --metrics-out <path>    write run metrics as JSON (train only)
   --trace-out <path>      write a Chrome trace_event JSON timeline,
                           loadable in Perfetto / chrome://tracing
                           (train only)
   --no-ring --no-lockfree --no-overlap   disable optimizations
+
+CHAOS OPTIONS (chaos):
+  --schedules <n>         seeded fault schedules to run (default 8)
+  --seed <n>              base seed; schedule i uses seed+i (default 42)
+  --dataset <name>        registry name (default google)
+  --scale <f>             materialization scale (default 0.002)
+  --workers <n>           worker count (default 3)
+  --epochs <n>            epochs per schedule (default 6)
+  --checkpoint-every <n>  checkpoint cadence (default 2)
 ";
 
 fn parse_flag_value<'a>(
@@ -177,6 +247,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match sub.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "datasets" => return Ok(Command::Datasets),
+        "chaos" => return parse_chaos(&args[1..]),
         "train" | "simulate" | "probe" => {}
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -270,6 +341,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         ra.checkpoint_every =
             v.parse().map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
     }
+    if let Some(v) = parse_flag_value(&flags, "recv-timeout-ms") {
+        ra.recv_timeout_ms =
+            Some(v.parse().map_err(|_| format!("bad --recv-timeout-ms {v:?}"))?);
+    }
+    if let Some(v) = parse_flag_value(&flags, "recv-retries") {
+        ra.recv_retries =
+            Some(v.parse().map_err(|_| format!("bad --recv-retries {v:?}"))?);
+    }
     if let Some(v) = parse_flag_value(&flags, "metrics-out") {
         ra.metrics_out = Some(v.clone());
     }
@@ -292,6 +371,53 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "probe" => Command::Probe(ra),
         _ => unreachable!(),
     })
+}
+
+/// Parses the flags of `nts chaos`.
+fn parse_chaos(args: &[String]) -> Result<Command, String> {
+    let mut ca = ChaosArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        match key {
+            "schedules" => {
+                ca.schedules =
+                    value.parse().map_err(|_| format!("bad --schedules {value:?}"))?;
+            }
+            "seed" => {
+                ca.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?;
+            }
+            "dataset" => ca.dataset = value.clone(),
+            "scale" => {
+                ca.scale = value.parse().map_err(|_| format!("bad --scale {value:?}"))?;
+            }
+            "workers" => {
+                ca.workers =
+                    value.parse().map_err(|_| format!("bad --workers {value:?}"))?;
+            }
+            "epochs" => {
+                ca.epochs = value.parse().map_err(|_| format!("bad --epochs {value:?}"))?;
+            }
+            "checkpoint-every" => {
+                ca.checkpoint_every = value
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every {value:?}"))?;
+            }
+            other => return Err(format!("unknown chaos flag --{other}")),
+        }
+    }
+    if ca.workers < 2 {
+        return Err("chaos needs --workers >= 2 (kills need a survivor)".to_string());
+    }
+    if ca.checkpoint_every == 0 || ca.epochs <= ca.checkpoint_every {
+        return Err("chaos needs 0 < --checkpoint-every < --epochs".to_string());
+    }
+    Ok(Command::Chaos(ca))
 }
 
 #[cfg(test)]
@@ -376,6 +502,50 @@ mod tests {
         let err = parse(&args("train --fault explode:w1")).unwrap_err();
         assert!(err.contains("fault"), "{err}");
         assert!(parse(&args("train --fault")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn recv_policy_flags() {
+        let Command::Train(ra) =
+            parse(&args("train --recv-timeout-ms 250 --recv-retries 5")).unwrap()
+        else {
+            panic!("expected train")
+        };
+        assert_eq!(ra.recv_timeout_ms, Some(250));
+        assert_eq!(ra.recv_retries, Some(5));
+        let rc = ra.recv();
+        assert_eq!(rc.timeout_ms, 250);
+        assert_eq!(rc.retries, 5);
+        // Defaults pass through untouched.
+        let rc = RunArgs::default().recv();
+        assert_eq!(rc, RecvConfig::default());
+        assert!(parse(&args("train --recv-retries many"))
+            .unwrap_err()
+            .contains("--recv-retries"));
+    }
+
+    #[test]
+    fn chaos_subcommand() {
+        let Command::Chaos(ca) = parse(&args("chaos")).unwrap() else {
+            panic!("expected chaos")
+        };
+        assert_eq!(ca, ChaosArgs::default());
+        let Command::Chaos(ca) = parse(&args(
+            "chaos --schedules 32 --seed 7 --workers 4 --epochs 8 --checkpoint-every 3",
+        ))
+        .unwrap() else {
+            panic!("expected chaos")
+        };
+        assert_eq!(ca.schedules, 32);
+        assert_eq!(ca.seed, 7);
+        assert_eq!(ca.workers, 4);
+        assert_eq!(ca.epochs, 8);
+        assert_eq!(ca.checkpoint_every, 3);
+        assert!(parse(&args("chaos --workers 1")).unwrap_err().contains("workers"));
+        assert!(parse(&args("chaos --epochs 2 --checkpoint-every 2"))
+            .unwrap_err()
+            .contains("checkpoint-every"));
+        assert!(parse(&args("chaos --frobnicate 1")).unwrap_err().contains("chaos flag"));
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub use ns_net as net;
 pub use ns_runtime as runtime;
 pub use ns_tensor as tensor;
 
+pub mod chaos;
 pub mod cli;
 pub mod session;
 

@@ -146,6 +146,12 @@ impl ClusterSpec {
         c
     }
 
+    /// A fresh, fully-active membership view over this cluster's workers
+    /// (the elastic trainer's starting point).
+    pub fn membership(&self) -> crate::membership::MembershipView {
+        crate::membership::MembershipView::new(self.workers)
+    }
+
     /// Ingress/egress bandwidth in bytes per second.
     pub fn bandwidth_bps(&self) -> f64 {
         self.net.bandwidth_gbps * 1e9 / 8.0

@@ -286,14 +286,18 @@ impl Endpoint {
             }
         }
         let msg = Message { src: self.me, seq, deliver_at, kind };
-        if fate.duplicate {
-            self.txs[dst]
-                .send(msg.clone())
-                .map_err(|_| NetError::PeerDisconnected { peer: dst })?;
-        }
+        let dup = fate.duplicate.then(|| msg.clone());
         self.txs[dst]
             .send(msg)
             .map_err(|_| NetError::PeerDisconnected { peer: dst })?;
+        if let Some(copy) = dup {
+            // Best-effort: the duplicate is an injected artifact riding on
+            // a send that already succeeded. The receiver may legitimately
+            // exit right after consuming the original (e.g. it was the last
+            // message of its run), so a dead channel here is not a send
+            // failure — the copy would have been suppressed anyway.
+            let _ = self.txs[dst].send(copy);
+        }
         Ok(bytes)
     }
 

@@ -196,6 +196,16 @@ impl FaultPlan {
         );
     }
 
+    /// Removes every straggle fault targeting `worker`. The elastic
+    /// trainer calls this when the straggler policy evicts a slow member:
+    /// the modeled node is restarted, so it comes back healthy when it
+    /// rejoins. Worker ids in the remaining faults keep addressing the
+    /// current topology.
+    pub fn retire_straggle(&mut self, worker: usize) {
+        self.faults
+            .retain(|f| !matches!(f, Fault::Straggle { worker: w, .. } if *w == worker));
+    }
+
     /// Parses and appends a CLI fault spec. Formats:
     ///
     /// * `kill:w<id>@e<epoch>` — crash a worker,
@@ -398,6 +408,16 @@ mod tests {
         assert_eq!(plan.kill_epoch(1), Some(5));
         plan.retire_kill(1, 5);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn retire_straggle_cures_only_the_target_worker() {
+        let mut plan = FaultPlan::default()
+            .with_fault(Fault::Straggle { worker: 1, delay_ms: 30 })
+            .with_fault(Fault::Straggle { worker: 2, delay_ms: 10 });
+        plan.retire_straggle(1);
+        assert_eq!(plan.send_fate(0, 1, 0, None, 1).delay_ms, 0);
+        assert_eq!(plan.send_fate(0, 2, 0, None, 1).delay_ms, 10);
     }
 
     #[test]

@@ -23,14 +23,20 @@
 //! * [`fault`] — deterministic, seeded fault injection (drops, delays,
 //!   duplicates, stragglers, worker kills) honored by both the fabric and
 //!   the simulator.
+//! * [`membership`] — the coordinator's cluster membership view and the
+//!   worker rejoin handshake used by the elastic trainer.
 
 pub mod buffer;
 pub mod cluster;
 pub mod fabric;
 pub mod fault;
+pub mod membership;
 pub mod sim;
 
 pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
 pub use fabric::{Endpoint, Fabric, Message, MessageKind, NetError, NetStats, KIND_NAMES};
 pub use fault::{Fault, FaultPlan, KindSel, MsgSel, SendFate};
+pub use membership::{
+    MemberState, MembershipEvent, MembershipEventKind, MembershipView, RejoinOffer,
+};
 pub use sim::{SimReport, TaskGraph, TaskId};

@@ -63,6 +63,20 @@ pub struct CostFactors {
     pub t_c: Vec<f64>,
 }
 
+impl CostFactors {
+    /// A copy with every per-layer communication cost `T_c` multiplied by
+    /// `factor`. The measured-cost replanner uses this to fold the
+    /// observed global comm slowdown (mean receive wait drift relative to
+    /// the run's first chunk) back into the Algorithm-4 inputs; compute
+    /// factors are left untouched because they are probed, not drifting.
+    pub fn with_comm_scale(&self, factor: f64) -> CostFactors {
+        CostFactors {
+            t_c: self.t_c.iter().map(|t| t * factor).collect(),
+            ..self.clone()
+        }
+    }
+}
+
 fn probe_topology(n_src: usize, n_dst: usize, edges: usize, seed: u64) -> LayerTopology {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_dst];
@@ -188,6 +202,17 @@ mod tests {
         assert!(ibv.t_c[1] < ecs.t_c[1] / 10.0);
         // Compute factors scale with device speed instead.
         assert!(ibv.t_v[0] < ecs.t_v[0]);
+    }
+
+    #[test]
+    fn comm_scale_touches_only_t_c() {
+        let f = factors(ModelKind::Gcn);
+        let scaled = f.with_comm_scale(3.0);
+        for lz in 0..2 {
+            assert!((scaled.t_c[lz] - 3.0 * f.t_c[lz]).abs() < 1e-18);
+            assert_eq!(scaled.t_v[lz], f.t_v[lz]);
+            assert_eq!(scaled.t_e[lz], f.t_e[lz]);
+        }
     }
 
     #[test]

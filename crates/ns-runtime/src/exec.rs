@@ -208,7 +208,12 @@ fn peer_order(me: usize, m: usize, ring: bool) -> Vec<usize> {
 /// doubles the window until the retry budget is spent, then the
 /// accumulated [`NetError::RecvTimeout`] is returned. Blocked time goes
 /// to the `net.recv.wait_ns` histogram and spent retries to the
-/// `net.recv.retries` counter, on every exit path.
+/// `net.recv.retries` counter, on every exit path. The wait is
+/// additionally attributed to the sending peer as a per-peer histogram
+/// (`net.recv.wait_ns.peer<k>`) — the signal the measured-cost replanner
+/// and the straggler-eviction policy read (they take per-message wait
+/// quantiles and minimize across receivers, which separates a peer that
+/// delays *every* message from one merely stalled behind it).
 fn recv_retry(
     ep: &Endpoint,
     src: usize,
@@ -235,7 +240,9 @@ fn recv_retry(
     if attempt > 0 {
         rec.incr("net.recv.retries", attempt as u64);
     }
-    rec.observe("net.recv.wait_ns", t0.elapsed().as_nanos() as u64);
+    let waited_ns = t0.elapsed().as_nanos() as u64;
+    rec.observe("net.recv.wait_ns", waited_ns);
+    rec.observe(&format!("net.recv.wait_ns.peer{src}"), waited_ns);
     res
 }
 

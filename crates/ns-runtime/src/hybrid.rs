@@ -37,6 +37,13 @@ pub struct HybridConfig {
     /// (the paper's "caching all dependencies can even result in an
     /// out-of-memory error").
     pub ratio_override: Option<f64>,
+    /// Measured per-owner communication multipliers, indexed by the
+    /// worker that *owns* a dependency: fetching `u` costs
+    /// `T_c * peer_comm_mult[owner(u)]`. The measured-cost replanner
+    /// derives these from per-peer receive-wait counters, so a straggling
+    /// peer's dependencies become expensive to communicate and shift
+    /// toward caching. `None` (the default) means all ones.
+    pub peer_comm_mult: Option<Vec<f64>>,
 }
 
 /// Outcome statistics of the dependency partitioning.
@@ -222,6 +229,14 @@ pub fn partition_dependencies(
     let num_layers = dims.len() - 1;
     let budget = cfg.memory_budget_bytes.unwrap_or(device_mem_bytes);
 
+    // Per-owner communication multiplier (measured feedback): fetching a
+    // dependency from a slow peer costs proportionally more.
+    let peer_mult = |u: u32| -> f64 {
+        cfg.peer_comm_mult
+            .as_ref()
+            .map_or(1.0, |mults| mults.get(part.owner(u)).copied().unwrap_or(1.0))
+    };
+
     let mut sets: Vec<Vec<FxHashSet<u32>>> = vec![vec![FxHashSet::default(); num_layers]; m];
     let mut cached_per_layer = vec![0usize; num_layers];
     let mut comm_per_layer = vec![0usize; num_layers];
@@ -291,7 +306,7 @@ pub fn partition_dependencies(
                 .collect();
             while let Some(Reverse((_, u))) = queue.pop() {
                 let t_r = state.measure(u, lz); // re-measure excluding V_rep
-                if t_r < t_c {
+                if t_r < t_c * peer_mult(u) {
                     let (bytes, added) = state.cache(u, lz);
                     let projected =
                         ((base_bytes + cache_bytes + bytes) as f64 / scale) as u64;
@@ -473,9 +488,48 @@ mod tests {
             &HybridConfig {
                 memory_budget_bytes: Some(1),
                 ratio_override: Some(1.0),
+                ..Default::default()
             },
         );
         assert!(matches!(err, Err(RuntimeError::DeviceOom { .. })));
+    }
+
+    #[test]
+    fn slow_owner_multiplier_shifts_its_deps_toward_caching() {
+        let (g, p, model, costs, cluster) = setup();
+        let count_cached_from = |decision: &DepDecision, owner: usize| -> usize {
+            let DepDecision::Sets(sets) = decision else { panic!() };
+            sets.iter()
+                .flatten()
+                .flat_map(|s| s.iter())
+                .filter(|&&u| p.owner(u) == owner)
+                .count()
+        };
+        let (base, _) = partition_dependencies(
+            &g, &p, model.dims(), &costs, 1.0, cluster.device.mem_bytes,
+            &HybridConfig::default(),
+        )
+        .unwrap();
+        let mut mults = vec![1.0; 4];
+        mults[2] = 50.0;
+        let (slow, _) = partition_dependencies(
+            &g, &p, model.dims(), &costs, 1.0, cluster.device.mem_bytes,
+            &HybridConfig { peer_comm_mult: Some(mults), ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            count_cached_from(&slow, 2) >= count_cached_from(&base, 2),
+            "a slow owner's deps must not become less cached"
+        );
+        // Sanity: the all-ones multiplier is a no-op.
+        let (ones, _) = partition_dependencies(
+            &g, &p, model.dims(), &costs, 1.0, cluster.device.mem_bytes,
+            &HybridConfig { peer_comm_mult: Some(vec![1.0; 4]), ..Default::default() },
+        )
+        .unwrap();
+        for owner in 0..4 {
+            assert_eq!(count_cached_from(&ones, owner), count_cached_from(&base, owner));
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod feedback;
 pub mod hybrid;
 pub mod memory;
 pub mod obs;
@@ -44,7 +45,10 @@ pub mod trainer;
 
 pub use error::{FailureCause, RuntimeError};
 pub use exec::{RecvConfig, RunState};
+pub use feedback::{CostCalibration, DecisionDelta, PeerWaitStats};
 pub use obs::{sim_breakdown, sim_spans, utilization_trace, SimBreakdown};
 pub use hybrid::HybridConfig;
 pub use recovery::{Checkpoint, RecoveryConfig};
-pub use trainer::{EngineKind, EpochStats, Trainer, TrainerConfig, TrainingReport};
+pub use trainer::{
+    EngineKind, EpochStats, ReplanEvent, Trainer, TrainerConfig, TrainingReport,
+};

@@ -20,7 +20,7 @@ use ns_tensor::checkpoint;
 use ns_tensor::{AdamState, ParamStore};
 
 /// Recovery policy for [`Trainer::train`](crate::trainer::Trainer::train).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
     /// Checkpoint cadence in epochs. `0` disables recovery entirely:
     /// a worker failure then surfaces as an error from `train`.
@@ -28,11 +28,31 @@ pub struct RecoveryConfig {
     /// Maximum number of rollback-and-resume attempts before the
     /// failure is surfaced anyway.
     pub max_restarts: usize,
+    /// Elastic rejoin: re-admit failed/evicted members at the next
+    /// checkpoint boundary via the `ns-net` membership handshake, restore
+    /// their state from the checkpoint, and rebuild the plan over the
+    /// full world (upgrading a degraded engine back toward the configured
+    /// one). Off by default: failures then shrink the cluster permanently,
+    /// the pre-elastic behavior.
+    pub rejoin: bool,
+    /// Straggler eviction: at each checkpoint boundary, evict the peer
+    /// whose per-message receive wait exceeds `straggler_factor` times
+    /// the cluster median (it re-admits at the next boundary when
+    /// `rejoin` is on). Off by default.
+    pub evict_stragglers: bool,
+    /// Eviction threshold multiplier over the median per-message wait.
+    pub straggler_factor: f64,
 }
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        Self { checkpoint_every: 0, max_restarts: 2 }
+        Self {
+            checkpoint_every: 0,
+            max_restarts: 2,
+            rejoin: false,
+            evict_stragglers: false,
+            straggler_factor: 4.0,
+        }
     }
 }
 
@@ -41,6 +61,20 @@ impl RecoveryConfig {
     /// budget). `every(0)` keeps recovery disabled.
     pub fn every(n: usize) -> Self {
         Self { checkpoint_every: n, ..Self::default() }
+    }
+
+    /// Enables elastic rejoin (builder style).
+    pub fn with_rejoin(mut self) -> Self {
+        self.rejoin = true;
+        self
+    }
+
+    /// Enables straggler eviction at `factor` times the median
+    /// per-message receive wait (builder style).
+    pub fn with_straggler_eviction(mut self, factor: f64) -> Self {
+        self.evict_stragglers = true;
+        self.straggler_factor = factor;
+        self
     }
 
     /// Whether checkpointing (and therefore rollback) is active.
@@ -90,6 +124,19 @@ impl Checkpoint {
     /// Serialized size of the parameter snapshot, bytes.
     pub fn param_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The raw `NTSCKPT1` payload (empty for the initial checkpoint).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a checkpoint from raw serialized state — what a
+    /// process-level restart does after reading the snapshot back from
+    /// disk. The bytes are validated lazily by [`Checkpoint::restore`],
+    /// which surfaces damage as `io::Error` instead of panicking.
+    pub fn from_raw(next_epoch: usize, bytes: Vec<u8>, opt: Option<AdamState>) -> Self {
+        Self { next_epoch, bytes, opt }
     }
 }
 
@@ -153,5 +200,25 @@ mod tests {
         assert!(!RecoveryConfig::every(0).enabled());
         assert!(RecoveryConfig::every(3).enabled());
         assert_eq!(RecoveryConfig::every(3).max_restarts, 2);
+    }
+
+    #[test]
+    fn elastic_knobs_default_off() {
+        let base = RecoveryConfig::every(2);
+        assert!(!base.rejoin && !base.evict_stragglers);
+        let elastic = base.with_rejoin().with_straggler_eviction(3.0);
+        assert!(elastic.rejoin && elastic.evict_stragglers);
+        assert_eq!(elastic.straggler_factor, 3.0);
+        assert_eq!(elastic.checkpoint_every, 2);
+    }
+
+    #[test]
+    fn from_raw_round_trips_capture() {
+        let store = sample_store();
+        let ckpt = Checkpoint::capture(4, &store, None);
+        let rebuilt =
+            Checkpoint::from_raw(ckpt.next_epoch, ckpt.raw_bytes().to_vec(), None);
+        assert_eq!(rebuilt.param_bytes(), ckpt.param_bytes());
+        assert!(rebuilt.restore().is_ok());
     }
 }

@@ -1,18 +1,22 @@
 //! High-level training entry point combining planning, simulation, and
 //! real execution.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use rustc_hash::FxHashSet;
 
 use ns_gnn::GnnModel;
 use ns_metrics::{span, MetricsRecorder, Phase, RunMetrics, COORDINATOR};
 use ns_graph::{Dataset, Partitioner};
 use ns_net::fault::FaultPlan;
+use ns_net::membership::{self, MembershipEvent, MembershipView};
 use ns_net::sim::{simulate, ResourceKind, SimReport};
-use ns_net::{ClusterSpec, ExecOptions};
+use ns_net::{ClusterSpec, ExecOptions, Fabric};
 use ns_tensor::ParamStore;
 
 use crate::cost::{probe, CostFactors};
-use crate::error::{Result, RuntimeError};
+use crate::error::{FailureCause, Result, RuntimeError};
+use crate::feedback::{self, DecisionDelta};
 use crate::exec::{
     train_epochs_run, EpochMetrics, ExecConfig, OptimizerKind, RecvConfig, RunState, SyncMode,
 };
@@ -147,6 +151,28 @@ pub struct PlanSummary {
     pub hybrid: Option<HybridInfo>,
 }
 
+/// One measured-cost adaptive replan performed at a checkpoint boundary.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Checkpoint-boundary epoch the replan took effect at.
+    pub epoch: usize,
+    /// What triggered it (currently always `"drift"`: the measured
+    /// receive-wait statistics crossed the replan thresholds).
+    pub reason: &'static str,
+    /// Global `T_c` multiplier applied (mean-wait drift vs the run's
+    /// first chunk).
+    pub comm_factor: f64,
+    /// Per-peer communication multipliers fed into Algorithm 4.
+    pub peer_mult: Vec<f64>,
+    /// Per-owner dependencies that migrated from communicated (`C_i^l`)
+    /// to cached (`R_i^l`) relative to the previous plan.
+    pub moved_to_cached: Vec<usize>,
+    /// Per-owner dependencies that migrated the other way.
+    pub moved_to_comm: Vec<usize>,
+    /// Engine the replan compiled (Hybrid unless it degraded).
+    pub engine: String,
+}
+
 /// Everything a training run produces.
 #[derive(Debug, Clone)]
 pub struct TrainingReport {
@@ -171,6 +197,13 @@ pub struct TrainingReport {
     /// for every rollback-and-resume the run performed. Empty for clean
     /// runs and for runs without recovery enabled.
     pub recoveries: Vec<(usize, usize, String)>,
+    /// Membership transitions (failures, straggler evictions, rejoins),
+    /// in order, attributed to original worker slots. Empty unless
+    /// recovery is enabled.
+    pub membership: Vec<MembershipEvent>,
+    /// Measured-cost adaptive replans performed at checkpoint
+    /// boundaries.
+    pub replans: Vec<ReplanEvent>,
     /// Observability data for the whole run: one merged frame per worker
     /// (phase spans, layer graph/NN splits, fabric traffic meters), a
     /// coordinator frame with checkpoint/rollback activity, and the
@@ -201,6 +234,8 @@ impl TrainingReport {
 /// including the Hybrid budget-shrink loop and the device-memory check.
 /// Factored out of [`Trainer::prepare`] so the recovery path can replan
 /// on the surviving topology (and, if needed, on a degraded engine).
+/// `peer_mult` is the measured per-owner communication multiplier fed
+/// back by the adaptive replanner (`None` outside drift replans).
 fn plan_engine(
     dataset: &Dataset,
     model: &GnnModel,
@@ -208,12 +243,13 @@ fn plan_engine(
     engine: EngineKind,
     workers: usize,
     costs: &CostFactors,
-) -> Result<(Vec<WorkerPlan>, Option<HybridInfo>)> {
+    peer_mult: Option<&[f64]>,
+) -> Result<(Vec<WorkerPlan>, Option<HybridInfo>, DepDecision)> {
     if workers == 0 {
         return Err(RuntimeError::InvalidConfig("zero workers".into()));
     }
     let part = cfg.partitioner.partition(&dataset.graph, workers);
-    let (decision, hybrid_info) = match engine {
+    let (mut decision, hybrid_info) = match engine {
         EngineKind::DepCache => (DepDecision::CacheAll, None),
         EngineKind::DepComm => (DepDecision::CommAll, None),
         EngineKind::Hybrid => {
@@ -232,6 +268,7 @@ fn plan_engine(
                 &HybridConfig {
                     memory_budget_bytes: Some(budget),
                     ratio_override: cfg.hybrid.ratio_override,
+                    peer_comm_mult: peer_mult.map(<[f64]>::to_vec),
                 },
             )?;
             (d, Some(info))
@@ -285,10 +322,12 @@ fn plan_engine(
                     &HybridConfig {
                         memory_budget_bytes: Some(budget),
                         ratio_override: None,
+                        peer_comm_mult: peer_mult.map(<[f64]>::to_vec),
                     },
                 )?;
                 plans = build_plans(&dataset.graph, &part, model.num_layers(), &d)?;
                 hybrid_info = Some(info);
+                decision = d;
                 if check(&plans).is_ok() {
                     done = true;
                     break;
@@ -300,7 +339,7 @@ fn plan_engine(
             }
         }
     }
-    Ok((plans, hybrid_info))
+    Ok((plans, hybrid_info, decision))
 }
 
 /// The distributed trainer: plans once, simulates once, then trains for
@@ -312,6 +351,21 @@ pub struct Trainer<'a> {
     plans: Vec<WorkerPlan>,
     costs: CostFactors,
     hybrid_info: Option<HybridInfo>,
+    decision: DepDecision,
+}
+
+/// Upper bound on measured-cost drift replans per run, so an unlucky
+/// oscillating cluster cannot spend more time partitioning than training.
+const MAX_DRIFT_REPLANS: usize = 4;
+
+/// What the recovering epoch loop hands back to [`Trainer::train`].
+struct ElasticOutcome {
+    metrics: Vec<EpochMetrics>,
+    params: ParamStore,
+    recoveries: Vec<(usize, usize, String)>,
+    run_metrics: RunMetrics,
+    membership: Vec<MembershipEvent>,
+    replans: Vec<ReplanEvent>,
 }
 
 impl<'a> Trainer<'a> {
@@ -325,9 +379,9 @@ impl<'a> Trainer<'a> {
         cfg: TrainerConfig,
     ) -> Result<Self> {
         let costs = probe(model, &cfg.cluster);
-        let (plans, hybrid_info) =
-            plan_engine(dataset, model, &cfg, cfg.engine, cfg.cluster.workers, &costs)?;
-        Ok(Self { dataset, model, cfg, plans, costs, hybrid_info })
+        let (plans, hybrid_info, decision) =
+            plan_engine(dataset, model, &cfg, cfg.engine, cfg.cluster.workers, &costs, None)?;
+        Ok(Self { dataset, model, cfg, plans, costs, hybrid_info, decision })
     }
 
     /// The compiled per-worker plans.
@@ -366,55 +420,145 @@ impl<'a> Trainer<'a> {
         }
     }
 
-    /// Replans on `workers` survivors, degrading Hybrid to DepComm when
-    /// the shrunk cluster can no longer fit the cached working set —
+    /// Replans on `workers` active members, degrading Hybrid to DepComm
+    /// when the shrunk cluster can no longer fit the cached working set —
     /// trading extra communication for staying alive rather than
-    /// surfacing `DeviceOom` mid-recovery.
+    /// surfacing `DeviceOom` mid-recovery. `costs` and `peer_mult` let the
+    /// measured-cost replanner feed calibrated factors in; plain recovery
+    /// passes the probed costs unchanged.
     fn replan(
         &self,
         engine: EngineKind,
         workers: usize,
-    ) -> Result<(Vec<WorkerPlan>, EngineKind)> {
-        match plan_engine(self.dataset, self.model, &self.cfg, engine, workers, &self.costs) {
-            Ok((plans, _)) => Ok((plans, engine)),
+        costs: &CostFactors,
+        peer_mult: Option<&[f64]>,
+    ) -> Result<(Vec<WorkerPlan>, EngineKind, DepDecision)> {
+        match plan_engine(self.dataset, self.model, &self.cfg, engine, workers, costs, peer_mult)
+        {
+            Ok((plans, _, decision)) => Ok((plans, engine, decision)),
             Err(RuntimeError::DeviceOom { .. }) if engine == EngineKind::Hybrid => {
-                let (plans, _) = plan_engine(
+                let (plans, _, decision) = plan_engine(
                     self.dataset,
                     self.model,
                     &self.cfg,
                     EngineKind::DepComm,
                     workers,
-                    &self.costs,
+                    costs,
+                    None,
                 )?;
-                Ok((plans, EngineKind::DepComm))
+                Ok((plans, EngineKind::DepComm, decision))
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Attributes the migration between two dependency decisions over the
+    /// same `workers`-way partitioning to the owners of the moved
+    /// dependencies (see [`feedback::diff_decisions`]).
+    fn decision_delta(
+        &self,
+        old: &DepDecision,
+        new: &DepDecision,
+        workers: usize,
+    ) -> DecisionDelta {
+        let part = self.cfg.partitioner.partition(&self.dataset.graph, workers);
+        let num_layers = self.model.num_layers();
+        let deps: Vec<Vec<Vec<u32>>> = (0..workers)
+            .map(|i| {
+                let owned_vec = part.part_vertices(i);
+                let owned: FxHashSet<u32> = owned_vec.iter().copied().collect();
+                let closure =
+                    ns_graph::khop::khop_in_closure(&self.dataset.graph, &owned_vec, num_layers);
+                (0..num_layers)
+                    .map(|lz| {
+                        closure.layers[num_layers - lz]
+                            .iter()
+                            .copied()
+                            .filter(|u| !owned.contains(u))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        feedback::diff_decisions(old, new, workers, num_layers, &deps, |u| part.owner(u))
+    }
+
+    /// Runs the rejoin handshake for original `slot` against the current
+    /// checkpoint: a fresh two-node fabric (coordinator = 0, joiner = 1),
+    /// two threads, three control round trips, then the checkpointed
+    /// state is what the joiner resumes from. Returns the bytes the
+    /// rejoin put on the wire (handshake control traffic plus the state
+    /// snapshot).
+    fn run_rejoin_handshake(&self, slot: usize, ckpt: &Checkpoint) -> Result<u64> {
+        let timeout = Duration::from_millis(self.cfg.recv.timeout_ms.max(100));
+        let mut eps = Fabric::new(2).into_endpoints();
+        let joiner_ep = eps.pop().expect("fabric endpoint 1");
+        let coord_ep = eps.pop().expect("fabric endpoint 0");
+        let resume = ckpt.next_epoch;
+        let state_bytes = ckpt.param_bytes() as u64;
+        let net_err = |e| RuntimeError::WorkerFailed {
+            worker: slot,
+            epoch: resume,
+            cause: FailureCause::Net(e),
+        };
+        crossbeam::thread::scope(|s| {
+            let joiner = s.spawn(move |_| {
+                membership::request_rejoin(&joiner_ep, 0, slot, timeout)
+            });
+            let announced =
+                membership::admit_rejoin(&coord_ep, 1, resume, state_bytes, timeout)
+                    .map_err(net_err)?;
+            let offer = joiner.join().expect("joiner thread").map_err(net_err)?;
+            debug_assert_eq!(announced, slot);
+            debug_assert_eq!(offer.resume_epoch, resume);
+            Ok(offer.state_bytes + membership::REJOIN_HANDSHAKE_BYTES)
+        })
+        .expect("rejoin scope")
     }
 
     /// The checkpointed epoch loop: run chunks of `checkpoint_every`
     /// epochs, snapshot after each, and on a worker failure roll back to
     /// the last checkpoint and resume on the survivors.
     ///
+    /// With the elastic knobs on, each successful checkpoint boundary
+    /// additionally runs the self-healing pass:
+    ///
+    /// 1. **Straggler eviction** (`evict_stragglers`): the peer whose
+    ///    attributed per-message receive wait exceeds `straggler_factor`
+    ///    times the cluster median is voluntarily removed and the plan
+    ///    rebuilt over the remainder.
+    /// 2. **Rejoin** (`rejoin`): every missing member (failed or evicted)
+    ///    re-admits through the [`membership`] handshake, its state is
+    ///    restored from the checkpoint, and the plan is rebuilt over the
+    ///    restored world — retrying the *configured* engine first, so a
+    ///    run degraded to DepComm upgrades back once members return.
+    /// 3. **Measured-cost drift replan** (Hybrid only, membership
+    ///    unchanged): the chunk's receive-wait statistics are calibrated
+    ///    into [`CostFactors`] corrections and, past the thresholds in
+    ///    [`feedback`], Algorithm 4 re-runs with them — a slow peer's
+    ///    dependencies shift from communicated to cached.
+    ///
     /// Observability: one trace-clock origin is threaded through every
     /// chunk so all spans land on a single timeline, and a coordinator
-    /// recorder times checkpoint capture/restore and counts rollbacks.
+    /// recorder times checkpoint capture/restore and counts rollbacks,
+    /// membership transitions (`membership.*`), and replans (`replan.*`).
     /// Frames from a *failed* chunk are discarded with its metrics (the
     /// chunk is atomic); the rollback itself is what gets recorded.
     #[allow(clippy::type_complexity)]
-    fn train_recovering(
-        &self,
-        epochs: usize,
-        exec_cfg: &ExecConfig,
-    ) -> Result<(Vec<EpochMetrics>, ParamStore, Vec<(usize, usize, String)>, RunMetrics)> {
+    fn train_recovering(&self, epochs: usize, exec_cfg: &ExecConfig) -> Result<ElasticOutcome> {
         let cadence = self.cfg.recovery.checkpoint_every;
         let mut plans = self.plans.clone();
         let mut engine = self.cfg.engine;
+        let mut decision = self.decision.clone();
         let mut fault = self.cfg.fault.clone();
+        let mut view = MembershipView::new(self.cfg.cluster.workers);
         let mut ckpt = Checkpoint::initial();
         let mut metrics: Vec<EpochMetrics> = Vec::new();
         let mut recoveries = Vec::new();
+        let mut replans: Vec<ReplanEvent> = Vec::new();
         let mut restarts = 0usize;
+        let mut drift_replans = 0usize;
+        let mut baseline_mean: Option<f64> = None;
         let origin = Instant::now();
         let coord = MetricsRecorder::new(COORDINATOR, origin);
         let mut run_metrics = RunMetrics::new();
@@ -437,10 +581,99 @@ impl<'a> Trainer<'a> {
             match train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run) {
                 Ok((chunk_metrics, store, opt, chunk_run)) => {
                     metrics.extend(chunk_metrics);
+                    let boundary = ckpt.next_epoch + chunk;
+                    {
+                        let _save = span!(&coord, Phase::CkptSave);
+                        coord.incr("recovery.checkpoints", 1);
+                        ckpt = Checkpoint::capture(boundary, &store, opt);
+                    }
+                    // Self-healing boundary pass, driven by this chunk's
+                    // measured per-peer receive waits.
+                    let stats = feedback::peer_waits(&chunk_run, plans.len());
                     run_metrics.merge(chunk_run);
-                    let _save = span!(&coord, Phase::CkptSave);
-                    coord.incr("recovery.checkpoints", 1);
-                    ckpt = Checkpoint::capture(ckpt.next_epoch + chunk, &store, opt);
+                    let mut membership_changed = false;
+                    let mut just_evicted = None;
+                    if self.cfg.recovery.evict_stragglers
+                        && view.active_count() > 1
+                        && boundary < epochs
+                    {
+                        if let Some(rank) =
+                            feedback::pick_straggler(&stats, self.cfg.recovery.straggler_factor)
+                        {
+                            // The eviction cures the straggle at the
+                            // source: a modeled replacement host takes the
+                            // slot, so the injected straggle fault retires
+                            // with the member.
+                            fault.retire_straggle(rank);
+                            let slot = view.mark_evicted(rank, boundary);
+                            coord.incr("membership.evictions", 1);
+                            membership_changed = true;
+                            just_evicted = Some(slot);
+                        }
+                    }
+                    if self.cfg.recovery.rejoin && !view.is_full() {
+                        for slot in view.missing() {
+                            if Some(slot) == just_evicted {
+                                continue; // re-admits at the *next* boundary
+                            }
+                            let wire_bytes = self.run_rejoin_handshake(slot, &ckpt)?;
+                            view.admit(slot, boundary);
+                            coord.incr("membership.rejoins", 1);
+                            coord.incr("membership.rejoin.bytes", wire_bytes);
+                            membership_changed = true;
+                        }
+                        if view.is_full() {
+                            // Full world again: retry the configured
+                            // engine (replan() still degrades if needed).
+                            engine = self.cfg.engine;
+                        }
+                    }
+                    if membership_changed {
+                        let (p, e, d) =
+                            self.replan(engine, view.active_count(), &self.costs, None)?;
+                        plans = p;
+                        engine = e;
+                        decision = d;
+                        // Old wait statistics describe the old world.
+                        baseline_mean = None;
+                    } else if engine == EngineKind::Hybrid
+                        && boundary < epochs
+                        && drift_replans < MAX_DRIFT_REPLANS
+                    {
+                        let calib = feedback::calibrate(&stats, baseline_mean);
+                        if baseline_mean.is_none() {
+                            baseline_mean = Some(calib.mean_wait_ns);
+                        }
+                        if calib.triggers_replan() {
+                            let scaled = self.costs.with_comm_scale(calib.comm_factor);
+                            let (p, e, d) = self.replan(
+                                engine,
+                                plans.len(),
+                                &scaled,
+                                Some(&calib.peer_mult),
+                            )?;
+                            let delta = self.decision_delta(&decision, &d, plans.len());
+                            coord.incr("replan.events", 1);
+                            coord.incr(
+                                "replan.moved_to_cached",
+                                delta.total_to_cached() as u64,
+                            );
+                            coord.incr("replan.moved_to_comm", delta.total_to_comm() as u64);
+                            replans.push(ReplanEvent {
+                                epoch: boundary,
+                                reason: "drift",
+                                comm_factor: calib.comm_factor,
+                                peer_mult: calib.peer_mult,
+                                moved_to_cached: delta.moved_to_cached,
+                                moved_to_comm: delta.moved_to_comm,
+                                engine: e.name().to_string(),
+                            });
+                            plans = p;
+                            engine = e;
+                            decision = d;
+                            drift_replans += 1;
+                        }
+                    }
                 }
                 Err(RuntimeError::WorkerFailed { worker, epoch, .. })
                     if restarts < self.cfg.recovery.max_restarts && plans.len() > 1 =>
@@ -449,18 +682,22 @@ impl<'a> Trainer<'a> {
                     // metrics, so `metrics` already matches
                     // `ckpt.next_epoch` and rollback is just a replan +
                     // re-run from the checkpoint. The dead worker leaves
-                    // the cluster; its kill fault is retired so the
-                    // resumed run (with re-numbered workers) does not
-                    // re-fire it. Any remaining faults address the *new*
-                    // worker numbering.
+                    // the cluster (until it rejoins at a boundary); its
+                    // kill fault is retired so the resumed run (with
+                    // re-numbered workers) does not re-fire it. Any
+                    // remaining faults address the *new* numbering.
                     restarts += 1;
                     coord.incr("recovery.rollbacks", 1);
+                    coord.incr("membership.failures", 1);
+                    let slot = view.mark_failed(worker, epoch);
                     fault.retire_kill(worker, epoch);
-                    let survivors = plans.len() - 1;
-                    let (new_plans, new_engine) = self.replan(engine, survivors)?;
+                    let (new_plans, new_engine, new_decision) =
+                        self.replan(engine, view.active_count(), &self.costs, None)?;
                     plans = new_plans;
                     engine = new_engine;
-                    recoveries.push((worker, ckpt.next_epoch, engine.name().to_string()));
+                    decision = new_decision;
+                    baseline_mean = None;
+                    recoveries.push((slot, ckpt.next_epoch, engine.name().to_string()));
                 }
                 Err(e) => return Err(e),
             }
@@ -471,12 +708,14 @@ impl<'a> Trainer<'a> {
                 .map_err(|e| RuntimeError::CheckpointCorrupt(e.to_string()))?
         };
         run_metrics.absorb(coord.finish());
-        Ok((
+        Ok(ElasticOutcome {
             metrics,
-            final_params.unwrap_or_else(|| self.model.fresh_store()),
+            params: final_params.unwrap_or_else(|| self.model.fresh_store()),
             recoveries,
             run_metrics,
-        ))
+            membership: view.events().to_vec(),
+            replans,
+        })
     }
 
     /// Runs `epochs` epochs of real distributed training and returns the
@@ -492,25 +731,39 @@ impl<'a> Trainer<'a> {
             ring_order: self.cfg.opts.ring,
             sync: self.cfg.sync,
         };
-        let (metrics, final_params, recoveries, mut run_metrics) =
-            if self.cfg.recovery.enabled() {
-                self.train_recovering(epochs, &exec_cfg)?
-            } else {
-                let run = RunState {
-                    fault: self.cfg.fault.clone(),
-                    recv: self.cfg.recv,
-                    ..Default::default()
-                };
-                let (m, p, _, rm) = train_epochs_run(
-                    self.dataset,
-                    self.model,
-                    &self.plans,
-                    epochs,
-                    &exec_cfg,
-                    &run,
-                )?;
-                (m, p, Vec::new(), rm)
+        let outcome = if self.cfg.recovery.enabled() {
+            self.train_recovering(epochs, &exec_cfg)?
+        } else {
+            let run = RunState {
+                fault: self.cfg.fault.clone(),
+                recv: self.cfg.recv,
+                ..Default::default()
             };
+            let (m, p, _, rm) = train_epochs_run(
+                self.dataset,
+                self.model,
+                &self.plans,
+                epochs,
+                &exec_cfg,
+                &run,
+            )?;
+            ElasticOutcome {
+                metrics: m,
+                params: p,
+                recoveries: Vec::new(),
+                run_metrics: rm,
+                membership: Vec::new(),
+                replans: Vec::new(),
+            }
+        };
+        let ElasticOutcome {
+            metrics,
+            params: final_params,
+            recoveries,
+            mut run_metrics,
+            membership,
+            replans,
+        } = outcome;
         // Lay the modeled-clock timeline alongside the real-clock spans.
         run_metrics.sim_spans = crate::obs::sim_spans(&sim.report);
         let epochs_out = metrics
@@ -548,6 +801,8 @@ impl<'a> Trainer<'a> {
             },
             final_params,
             recoveries,
+            membership,
+            replans,
             metrics: run_metrics,
         })
     }
@@ -696,6 +951,82 @@ mod tests {
         assert_eq!(coord.counter("recovery.checkpoints"), 5);
         assert!(coord.phase_total_ns(Phase::CkptSave) > 0);
         assert!(coord.phase_total_ns(Phase::CkptLoad) > 0);
+    }
+
+    #[test]
+    fn rejoin_restores_full_world_after_kill() {
+        use ns_net::MembershipEventKind;
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::kill(1, 2);
+        c.recovery = RecoveryConfig::every(1).with_rejoin();
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(5).unwrap();
+        assert_eq!(report.epochs.len(), 5);
+        assert_eq!(report.recoveries.len(), 1);
+        let kinds: Vec<_> = report.membership.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![MembershipEventKind::Failed, MembershipEventKind::Rejoined]
+        );
+        assert_eq!(report.membership[0].worker, 1);
+        assert_eq!(report.membership[1].worker, 1);
+        // Replaying the log ends at a full world: every affected slot's
+        // final transition is a rejoin.
+        let mut last = std::collections::BTreeMap::new();
+        for e in &report.membership {
+            last.insert(e.worker, e.kind);
+        }
+        assert!(
+            last.values().all(|k| *k == MembershipEventKind::Rejoined),
+            "every rejoin must restore the world: {:?}",
+            report.membership
+        );
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert_eq!(coord.counter("membership.failures"), 1);
+        assert_eq!(coord.counter("membership.rejoins"), 1);
+        assert!(
+            coord.counter("membership.rejoin.bytes")
+                > ns_net::membership::REJOIN_HANDSHAKE_BYTES,
+            "rejoin must meter the state snapshot"
+        );
+        assert!(report.final_loss() < report.epochs[0].loss);
+    }
+
+    #[test]
+    fn straggler_is_evicted_and_readmitted() {
+        use ns_net::fault::Fault;
+        use ns_net::MembershipEventKind;
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::default()
+            .with_fault(Fault::Straggle { worker: 1, delay_ms: 30 });
+        c.recovery = RecoveryConfig::every(2)
+            .with_rejoin()
+            .with_straggler_eviction(4.0);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(6).unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        assert!(report.recoveries.is_empty(), "eviction burns no restart budget");
+        let kinds: Vec<_> = report.membership.iter().map(|e| e.kind).collect();
+        assert!(
+            kinds.contains(&MembershipEventKind::Evicted),
+            "30ms straggler must be evicted: {kinds:?}"
+        );
+        assert_eq!(
+            report.membership[0].worker, 1,
+            "the straggling slot is the one evicted"
+        );
+        assert_eq!(
+            kinds.last(),
+            Some(&MembershipEventKind::Rejoined),
+            "evicted member re-admits at a later boundary: {kinds:?}"
+        );
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert!(coord.counter("membership.evictions") >= 1);
+        assert!(coord.counter("membership.rejoins") >= 1);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Property tests hardening the checkpoint path: capture/restore must be
+//! an exact roundtrip (parameters and Adam state bit-for-bit), and
+//! arbitrarily damaged `NTSCKPT1` bytes must surface as `io::Error` —
+//! never a panic — because recovery reads snapshots that a crashing
+//! process may have half-written.
+//!
+//! These run under `cargo test` with the real proptest crate; the offline
+//! shadow workspace skips them (its proptest stand-in is empty).
+
+use proptest::prelude::*;
+
+use ns_runtime::Checkpoint;
+use ns_tensor::{AdamState, ParamStore, Tensor};
+
+/// Deterministic pseudo-random tensor (proptest drives shape + seed; the
+/// contents only need to be varied, not uniform).
+fn tensor_with(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(seed.wrapping_mul(2) + 1) % 1999;
+            (h as f32 - 999.0) / 250.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// A parameter store with `n` tensors of the given shapes.
+fn store_with(shapes: &[(usize, usize)], seed: u64) -> ParamStore {
+    let mut s = ParamStore::new();
+    for (i, &(r, c)) in shapes.iter().enumerate() {
+        s.register(format!("p{i}"), tensor_with(r, c, seed + i as u64));
+    }
+    s
+}
+
+/// Adam moments parallel to the store's shapes.
+fn adam_with(shapes: &[(usize, usize)], t: u64, seed: u64) -> AdamState {
+    AdamState {
+        t,
+        m: shapes.iter().map(|&(r, c)| tensor_with(r, c, seed + 100)).collect(),
+        v: shapes.iter().map(|&(r, c)| tensor_with(r, c, seed + 200)).collect(),
+    }
+}
+
+fn shape_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((1usize..6, 1usize..6), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// capture -> restore is the identity on parameters and optimizer
+    /// state: names, shapes, values, and Adam's (t, m, v) all match
+    /// exactly. Rollback correctness depends on this being bit-for-bit.
+    #[test]
+    fn capture_restore_is_exact(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        next_epoch in 0usize..100,
+        t in 0u64..1_000,
+    ) {
+        let store = store_with(&shapes, seed);
+        let opt = adam_with(&shapes, t, seed);
+        let ckpt = Checkpoint::capture(next_epoch, &store, Some(opt.clone()));
+        prop_assert_eq!(ckpt.next_epoch, next_epoch);
+        let (restored, ropt) = ckpt.restore().expect("fresh capture must restore");
+        let restored = restored.expect("non-empty capture");
+        prop_assert_eq!(restored.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(restored.iter()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.shape(), v2.shape());
+            prop_assert_eq!(v1.data(), v2.data());
+        }
+        prop_assert_eq!(ropt, Some(opt));
+    }
+
+    /// Rebuilding a checkpoint from its own raw bytes (what a
+    /// process-level restart does after re-reading the snapshot from
+    /// disk) restores identically to the original.
+    #[test]
+    fn raw_bytes_roundtrip_through_from_raw(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let store = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(7, &store, None);
+        let rebuilt = Checkpoint::from_raw(7, ckpt.raw_bytes().to_vec(), None);
+        let (a, _) = ckpt.restore().unwrap();
+        let (b, _) = rebuilt.restore().unwrap();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        prop_assert_eq!(a.len(), b.len());
+        for ((_, n1, v1), (_, n2, v2)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    /// Truncating the serialized snapshot at any point yields a clean
+    /// `io::Error` from restore — never a panic. (Length 0 is the
+    /// documented "initial parameters" sentinel, so start at 1.)
+    #[test]
+    fn truncated_bytes_error_cleanly(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let store = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(3, &store, None);
+        let full = ckpt.raw_bytes().to_vec();
+        let keep = 1 + cut.index(full.len() - 1);
+        if keep == full.len() {
+            return Ok(()); // not actually truncated
+        }
+        let damaged = Checkpoint::from_raw(3, full[..keep].to_vec(), None);
+        prop_assert!(damaged.restore().is_err(), "truncated snapshot restored");
+    }
+
+    /// Corrupting any single byte either errors cleanly or restores a
+    /// same-shaped store — it must never panic and never change the
+    /// parameter count. (A flip inside the f32 payload is undetectable
+    /// by design; structural damage must be caught.)
+    #[test]
+    fn bit_flips_never_panic(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let store = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(3, &store, None);
+        let mut bytes = ckpt.raw_bytes().to_vec();
+        let i = at.index(bytes.len());
+        bytes[i] ^= flip;
+        let damaged = Checkpoint::from_raw(3, bytes, None);
+        match damaged.restore() {
+            Err(_) => {} // clean rejection
+            Ok((Some(s), _)) => prop_assert_eq!(s.len(), store.len()),
+            Ok((None, _)) => {
+                return Err(TestCaseError::fail("non-empty bytes restored to nothing"));
+            }
+        }
+    }
+}

@@ -138,7 +138,7 @@ fn restart_budget_exhaustion_surfaces_failure() {
         .engine(EngineKind::DepComm)
         .cluster(ClusterSpec::aliyun_ecs(3))
         .faults(faults)
-        .recovery(RecoveryConfig { checkpoint_every: 1, max_restarts: 1 })
+        .recovery(RecoveryConfig { max_restarts: 1, ..RecoveryConfig::every(1) })
         .build(&ds, &model)
         .unwrap()
         .train(5)
