@@ -1,0 +1,172 @@
+//! Microbenchmark of the intra-worker parallel compute backend (`ns-par`):
+//! the row-blocked matmul, the fused CSR aggregation, and the lock-free
+//! parallel message enqueue, each timed at 1/2/4/8 compute threads.
+//!
+//! Writes `BENCH_compute.json` (override with `--out <path>`):
+//!
+//! ```text
+//! {"schema":"bench-compute/v1",
+//!  "results":[{"op":"matmul","size":"4096x256x256","threads":4,"ns_per_iter":...}]}
+//! ```
+//!
+//! `--quick` shrinks the shapes and iteration counts for CI smoke runs.
+//! Speedups are only meaningful on a machine with that many physical
+//! cores; the kernels are bit-identical at every thread count either way
+//! (see `ns-tensor/tests/par_parity.rs`), so the numbers here are purely
+//! about wall clock.
+
+use std::time::Instant;
+
+use ns_net::ParallelEnqueue;
+use ns_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn rand_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Times `f` over `iters` iterations (after one untimed warmup call) and
+/// returns nanoseconds per iteration.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() / iters as u128) as u64
+}
+
+struct Row {
+    op: &'static str,
+    size: String,
+    threads: usize,
+    ns_per_iter: u64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_compute.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("usage: micro_compute [--quick] [--out <path>] ({other:?}?)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Row-blocked dense matmul (the dominant per-layer kernel).
+    let (n, k, m, mm_iters) = if quick { (512, 128, 128, 4) } else { (4096, 256, 256, 3) };
+    let a = rand_tensor(&mut rng, n, k);
+    let b = rand_tensor(&mut rng, k, m);
+    let mm_size = format!("{n}x{k}x{m}");
+
+    // Fused CSR aggregation (weighted sum over a fixed-degree edge list).
+    let (n_dst, deg, d, agg_iters) = if quick { (4096, 4, 32, 8) } else { (32768, 8, 64, 16) };
+    let feats = rand_tensor(&mut rng, n_dst, d);
+    let mut offsets = Vec::with_capacity(n_dst + 1);
+    offsets.push(0usize);
+    let mut edge_src = Vec::with_capacity(n_dst * deg);
+    for _ in 0..n_dst {
+        for _ in 0..deg {
+            edge_src.push(rng.random_range(0..n_dst as u32));
+        }
+        offsets.push(edge_src.len());
+    }
+    let weights: Vec<f32> = (0..edge_src.len()).map(|_| rng.random_range(0.1..1.0)).collect();
+    let agg_size = format!("{n_dst}v x{deg}deg x{d}");
+
+    // Lock-free parallel enqueue: gather rows of a feature block into
+    // per-destination chunk buffers (the send path of `ns-runtime`).
+    let (dests, slots, cols, enq_iters) = if quick { (4, 1024, 32, 8) } else { (4, 8192, 64, 16) };
+    let total = dests * slots;
+    let src = rand_tensor(&mut rng, total, cols);
+    let per_dest: Vec<Vec<u32>> = (0..dests)
+        .map(|dst| (0..slots).map(|i| ((i * dests + dst) % total) as u32).collect())
+        .collect();
+    let slot_counts: Vec<usize> = vec![slots; dests];
+    let enq_size = format!("{dests}dst x{slots} x{cols}");
+
+    for &t in &THREAD_COUNTS {
+        ns_par::set_threads(t);
+        let threads = ns_par::threads();
+
+        rows.push(Row {
+            op: "matmul",
+            size: mm_size.clone(),
+            threads,
+            ns_per_iter: time_ns(mm_iters, || {
+                std::hint::black_box(a.matmul(&b));
+            }),
+        });
+        rows.push(Row {
+            op: "csr_aggregate",
+            size: agg_size.clone(),
+            threads,
+            ns_per_iter: time_ns(agg_iters, || {
+                std::hint::black_box(feats.weighted_aggregate(
+                    &edge_src,
+                    &offsets,
+                    Some(&weights),
+                ));
+            }),
+        });
+        rows.push(Row {
+            op: "enqueue",
+            size: enq_size.clone(),
+            threads,
+            ns_per_iter: time_ns(enq_iters, || {
+                let views: Vec<&[u32]> = per_dest.iter().map(|r| &r[..]).collect();
+                let enq = ParallelEnqueue::new(cols, &slot_counts);
+                enq.fill(src.data(), &views);
+                std::hint::black_box(&enq);
+            }),
+        });
+    }
+    ns_par::set_threads(0);
+
+    let base: Vec<(&str, u64)> = rows
+        .iter()
+        .filter(|r| r.threads == 1)
+        .map(|r| (r.op, r.ns_per_iter))
+        .collect();
+    println!("{:<14} {:<16} {:>7} {:>14} {:>8}", "op", "size", "threads", "ns/iter", "speedup");
+    for r in &rows {
+        let b1 = base.iter().find(|(op, _)| *op == r.op).map_or(r.ns_per_iter, |&(_, ns)| ns);
+        println!(
+            "{:<14} {:<16} {:>7} {:>14} {:>7.2}x",
+            r.op,
+            r.size,
+            r.threads,
+            r.ns_per_iter,
+            b1 as f64 / r.ns_per_iter.max(1) as f64,
+        );
+    }
+
+    let results: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "op": r.op,
+                "size": r.size.clone(),
+                "threads": r.threads,
+                "ns_per_iter": r.ns_per_iter,
+            })
+        })
+        .collect();
+    let doc = json!({ "schema": "bench-compute/v1", "results": results });
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("[saved {out}]");
+}

@@ -11,7 +11,7 @@ use neutronstar::chaos::{self, ChaosConfig};
 use neutronstar::cli::{parse, ChaosArgs, Command, RunArgs, USAGE};
 use neutronstar::metrics::{summary_table, to_chrome_trace, to_json};
 use neutronstar::prelude::*;
-use neutronstar::runtime::cost::probe;
+use neutronstar::runtime::cost::probe_threaded;
 use neutronstar::runtime::TrainerConfig;
 use neutronstar::tensor::checkpoint;
 
@@ -158,7 +158,8 @@ fn run(ra: &RunArgs, mode: Mode) {
     );
 
     if let Mode::Probe = mode {
-        let costs = probe(&model, &cluster);
+        ns_par::set_threads(ra.threads);
+        let costs = probe_threaded(&model, &cluster, ns_par::threads());
         println!("layer  T_v(s)      T_e(s)      T_c(s)");
         for lz in 0..model.num_layers() {
             println!(
@@ -174,6 +175,7 @@ fn run(ra: &RunArgs, mode: Mode) {
 
     let mut cfg = TrainerConfig::new(ra.engine, cluster);
     cfg.partitioner = ra.partitioner;
+    cfg.threads = ra.threads;
     cfg.opts = ra.opts;
     cfg.lr = ra.lr;
     cfg.sync = ra.sync;

@@ -79,6 +79,8 @@ pub struct RunArgs {
     pub engine: EngineKind,
     /// Worker count.
     pub workers: usize,
+    /// Intra-worker compute threads (0 = auto).
+    pub threads: usize,
     /// Cluster preset (`ecs` or `ibv`).
     pub cluster: String,
     /// Partitioner.
@@ -119,6 +121,7 @@ impl Default for RunArgs {
             hidden: None,
             engine: EngineKind::Hybrid,
             workers: 4,
+            threads: 0,
             cluster: "ecs".to_string(),
             partitioner: Partitioner::Chunk,
             epochs: 10,
@@ -194,6 +197,10 @@ OPTIONS (train/simulate/probe):
   --hidden <n>            hidden width (default: dataset pairing)
   --engine <depcache|depcomm|hybrid>
   --workers <n>           worker count (default 4)
+  --threads <n>           intra-worker compute threads for the tensor
+                          and aggregation kernels; 0 = auto (one per
+                          core). Results are bit-identical at any
+                          setting (default 0)
   --cluster <ecs|ibv|cpu> cluster preset (default ecs)
   --partitioner <chunk|metis|fennel>
   --epochs <n>            training epochs (default 10)
@@ -306,6 +313,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if let Some(v) = parse_flag_value(&flags, "workers") {
         ra.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+    }
+    if let Some(v) = parse_flag_value(&flags, "threads") {
+        ra.threads = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
     }
     if let Some(v) = parse_flag_value(&flags, "cluster") {
         ra.cluster = v.clone();
@@ -522,6 +532,16 @@ mod tests {
         assert!(parse(&args("train --recv-retries many"))
             .unwrap_err()
             .contains("--recv-retries"));
+    }
+
+    #[test]
+    fn threads_flag() {
+        let Command::Train(ra) = parse(&args("train --threads 4")).unwrap() else {
+            panic!("expected train")
+        };
+        assert_eq!(ra.threads, 4);
+        assert_eq!(RunArgs::default().threads, 0);
+        assert!(parse(&args("train --threads lots")).unwrap_err().contains("--threads"));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub struct SessionBuilder {
     fault: FaultPlan,
     recovery: RecoveryConfig,
     recv: RecvConfig,
+    threads: usize,
 }
 
 impl Default for SessionBuilder {
@@ -76,6 +77,7 @@ impl Default for SessionBuilder {
             fault: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
             recv: RecvConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -156,6 +158,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Intra-worker compute threads for the tensor/aggregation kernels
+    /// (default: 0 = auto — one thread per available core, capped by the
+    /// `ns-par` pool; results are bit-identical at any setting).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Plans the session (partitioning, dependency decisions, memory
     /// validation, cost probing).
     pub fn build<'a>(
@@ -177,6 +187,7 @@ impl SessionBuilder {
             fault: self.fault,
             recovery: self.recovery,
             recv: self.recv,
+            threads: self.threads,
         };
         Ok(TrainingSession { trainer: Trainer::prepare(dataset, model, cfg)? })
     }

@@ -1,0 +1,171 @@
+//! Zero-in-degree audit across the four `Aggregator` variants.
+//!
+//! Real partitions routinely hand a worker destination vertices with no
+//! local in-edges (isolated after partitioning, or masked subgraphs).
+//! These tests pin the contract for such vertices on every aggregator:
+//!
+//! * forward: the aggregated row is exactly **zero** — in particular
+//!   `Max` must not leak `-inf` from its running maximum, and `Mean`
+//!   must not divide by zero;
+//! * backward: the incoming gradient for an isolated destination is
+//!   **dropped** (no edge carries it anywhere), and vertices that *do*
+//!   have edges receive exactly the gradient they would in a graph
+//!   without the isolated vertex.
+
+use ns_gnn::ops::{aggregate_neighbors_with, Aggregator};
+use ns_gnn::topology::LayerTopology;
+use ns_tensor::{Tape, Tensor};
+
+const ALL: [Aggregator; 4] = [
+    Aggregator::Sum,
+    Aggregator::WeightedSum,
+    Aggregator::Mean,
+    Aggregator::Max,
+];
+
+/// 3 sources; dst0 <- {src0 (w 0.5), src1 (w 2.0)}, dst1 isolated,
+/// dst2 <- {src2 (w 1.0)}.
+fn topo_with_isolated_middle() -> LayerTopology {
+    LayerTopology::from_adjacency(
+        3,
+        &[
+            vec![(0, 0.5), (1, 2.0)],
+            vec![],
+            vec![(2, 1.0)],
+        ],
+        vec![0, 1, 2],
+    )
+}
+
+fn input() -> Tensor {
+    // Strictly negative column 1 so Max would expose a -inf / "max of
+    // nothing" bug; distinct values so argmax is unambiguous.
+    Tensor::from_vec(3, 2, vec![1.0, -3.0, 4.0, -1.0, 2.0, -2.0])
+}
+
+#[test]
+fn forward_isolated_vertex_is_zero_for_every_aggregator() {
+    for agg in ALL {
+        let t = topo_with_isolated_middle();
+        let mut tape = Tape::new();
+        let h = tape.leaf(input());
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (3, 2), "{agg:?}");
+        assert_eq!(v.row(1), &[0.0, 0.0], "{agg:?}: isolated row must be zero");
+        assert!(
+            v.data().iter().all(|x| x.is_finite()),
+            "{agg:?}: non-finite output {:?}",
+            v.data()
+        );
+    }
+}
+
+#[test]
+fn forward_connected_vertices_unaffected_by_isolated_neighbor() {
+    let t = topo_with_isolated_middle();
+    for (agg, row0, row2) in [
+        (Aggregator::Sum, [5.0, -4.0], [2.0, -2.0]),
+        // 0.5*h0 + 2.0*h1 ; 1.0*h2
+        (Aggregator::WeightedSum, [8.5, -3.5], [2.0, -2.0]),
+        (Aggregator::Mean, [2.5, -2.0], [2.0, -2.0]),
+        // max(h0, h1) elementwise ; h2
+        (Aggregator::Max, [4.0, -1.0], [2.0, -2.0]),
+    ] {
+        let mut tape = Tape::new();
+        let h = tape.leaf(input());
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        let v = tape.value(out);
+        assert_eq!(v.row(0), &row0, "{agg:?} dst0");
+        assert_eq!(v.row(2), &row2, "{agg:?} dst2");
+    }
+}
+
+#[test]
+fn backward_drops_gradient_of_isolated_vertex() {
+    // Seed the isolated destination with a large gradient; it must not
+    // reach any source. Other destinations get zero gradient, so *all*
+    // source gradients must be exactly zero.
+    for agg in ALL {
+        let t = topo_with_isolated_middle();
+        let mut tape = Tape::new();
+        let h = tape.leaf(input());
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        let mut seed = Tensor::zeros(3, 2);
+        seed.row_mut(1).copy_from_slice(&[100.0, -100.0]);
+        tape.backward_from(out, seed);
+        let g = tape.grad(h).expect("input gradient");
+        assert_eq!(
+            g.data(),
+            &[0.0; 6],
+            "{agg:?}: isolated vertex leaked gradient"
+        );
+    }
+}
+
+#[test]
+fn backward_connected_gradients_are_exact() {
+    let t = topo_with_isolated_middle();
+    // Upstream gradient: dst0 = [1, 2], dst1 = [10, 20], dst2 = [3, 4].
+    let seed = || Tensor::from_vec(3, 2, vec![1., 2., 10., 20., 3., 4.]);
+    for (agg, want) in [
+        // Sum: src0 += g0, src1 += g0, src2 += g2.
+        (Aggregator::Sum, vec![1., 2., 1., 2., 3., 4.]),
+        // WeightedSum: weights 0.5 / 2.0 / 1.0.
+        (Aggregator::WeightedSum, vec![0.5, 1., 2., 4., 3., 4.]),
+        // Mean: dst0 degree 2 -> weight 0.5 each; dst2 degree 1.
+        (Aggregator::Mean, vec![0.5, 1., 0.5, 1., 3., 4.]),
+        // Max: winners — col0: src1 (4 > 1), col1: src1 (-1 > -3); dst2
+        // forwards both columns to src2.
+        (Aggregator::Max, vec![0., 0., 1., 2., 3., 4.]),
+    ] {
+        let mut tape = Tape::new();
+        let h = tape.leaf(input());
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        tape.backward_from(out, seed());
+        let g = tape.grad(h).expect("input gradient");
+        assert_eq!(g.data(), &want[..], "{agg:?}");
+    }
+}
+
+#[test]
+fn all_vertices_isolated_is_a_valid_degenerate_graph() {
+    // A worker can receive a shard whose every local destination is
+    // isolated (e.g. after aggressive masking); forward must be all-zero
+    // and backward a no-op rather than a panic.
+    for agg in ALL {
+        let t = LayerTopology::from_adjacency(2, &[vec![], vec![]], vec![0, 1]);
+        let mut tape = Tape::new();
+        let h = tape.leaf(Tensor::from_vec(2, 1, vec![7.0, -7.0]));
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        assert_eq!(tape.value(out).data(), &[0.0, 0.0], "{agg:?}");
+        tape.backward_from(out, Tensor::from_vec(2, 1, vec![5.0, 5.0]));
+        assert_eq!(
+            tape.grad(h).expect("grad").data(),
+            &[0.0, 0.0],
+            "{agg:?}: gradient must be dropped entirely"
+        );
+    }
+}
+
+#[test]
+fn isolated_vertex_contract_holds_in_parallel_mode() {
+    // The zero-in-degree path must be thread-count invariant too: empty
+    // segments are skipped identically by every chunk owner.
+    let t = topo_with_isolated_middle();
+    let run = |agg: Aggregator| {
+        let mut tape = Tape::new();
+        let h = tape.leaf(input());
+        let out = aggregate_neighbors_with(&mut tape, h, &t, agg);
+        let fwd = tape.value(out).clone();
+        tape.backward_from(out, Tensor::from_vec(3, 2, vec![1., 2., 10., 20., 3., 4.]));
+        (fwd.into_vec(), tape.grad(h).expect("grad").clone().into_vec())
+    };
+    for agg in ALL {
+        ns_par::set_threads(1);
+        let base = run(agg);
+        ns_par::set_threads(4);
+        assert_eq!(run(agg), base, "{agg:?}");
+        ns_par::set_threads(1);
+    }
+}

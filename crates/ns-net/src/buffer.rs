@@ -85,6 +85,114 @@ impl LockFreeChunkBuffer {
     }
 }
 
+/// One layer-send's worth of per-destination outgoing buffers, filled by
+/// the compute thread pool with no mutex on the write path (§4.3, the
+/// "lock-free parallel message enqueuing" of Fig. 8).
+///
+/// The regular message pattern makes every row's final position known
+/// before any thread writes: destination `d`'s slot `s` holds the row for
+/// `rows_per_dst[d][s]`. [`ParallelEnqueue::fill`] flattens all
+/// destinations' slots into one index space and hands out contiguous
+/// *slot ranges* via the pool's atomic chunk cursor — claiming a range is
+/// a single `fetch_add`, and each slot's claim flag then only guards
+/// against double writes (a bug detector, not a lock). Flushing happens
+/// afterwards in whatever ring order the fabric wants via
+/// [`ParallelEnqueue::take`].
+pub struct ParallelEnqueue {
+    cols: usize,
+    /// Flattened slot-space offsets: destination `d` owns global slots
+    /// `starts[d]..starts[d + 1]`.
+    starts: Vec<usize>,
+    bufs: Vec<LockFreeChunkBuffer>,
+}
+
+impl ParallelEnqueue {
+    /// Buffers for one send task: `slots_per_dst[d]` rows of width `cols`
+    /// will go to destination `d`.
+    pub fn new(cols: usize, slots_per_dst: &[usize]) -> Self {
+        let mut starts = Vec::with_capacity(slots_per_dst.len() + 1);
+        starts.push(0usize);
+        for &s in slots_per_dst {
+            starts.push(starts.last().unwrap() + s);
+        }
+        Self {
+            cols,
+            starts,
+            bufs: slots_per_dst
+                .iter()
+                .map(|&s| LockFreeChunkBuffer::new(s, cols))
+                .collect(),
+        }
+    }
+
+    /// Number of destinations.
+    pub fn dests(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Total slots across all destinations.
+    pub fn total_slots(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Gathers `src` rows (an `n x cols` row-major matrix) into every
+    /// destination buffer concurrently: slot `s` of destination `d`
+    /// receives row `rows_per_dst[d][s]`. One parallel job covers the
+    /// whole flattened slot space, so a fast thread steals slot ranges
+    /// from slow ones regardless of which destination they belong to.
+    ///
+    /// # Panics
+    /// Panics if `src` is not `n x cols`, a row index is out of range, or
+    /// `rows_per_dst` does not match the constructor's slot counts.
+    pub fn fill(&self, src: &[f32], rows_per_dst: &[&[u32]]) {
+        assert_eq!(rows_per_dst.len(), self.bufs.len(), "destination count");
+        for (d, ids) in rows_per_dst.iter().enumerate() {
+            assert_eq!(ids.len(), self.bufs[d].slots(), "slot count for dest {d}");
+        }
+        assert_eq!(src.len() % self.cols.max(1), 0, "src not row-major x cols");
+        let cols = self.cols;
+        let total = self.total_slots();
+        if total == 0 {
+            return;
+        }
+        // Small sends take one chunk (inline, no dispatch); large ones
+        // split into a few ranges per thread for stealing.
+        let chunk = if total * cols < 1 << 14 {
+            total
+        } else {
+            ns_par::chunk_len(total, ns_par::threads())
+        };
+        ns_par::par_ranges(total, chunk, |lo, hi| {
+            // First destination whose slot range intersects [lo, hi).
+            let mut d = match self.starts.binary_search(&lo) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let mut g = lo;
+            while g < hi {
+                let ids = rows_per_dst[d];
+                let local_end = (hi - self.starts[d]).min(ids.len());
+                for s in (g - self.starts[d])..local_end {
+                    let r = ids[s] as usize;
+                    self.bufs[d].write_row(s, &src[r * cols..(r + 1) * cols]);
+                }
+                g = self.starts[d] + local_end;
+                d += 1;
+            }
+        });
+    }
+
+    /// Takes destination `d`'s filled rows (row-major), leaving an empty
+    /// buffer behind. Called by the fabric in ring order after
+    /// [`Self::fill`] completes.
+    ///
+    /// # Panics
+    /// Panics if any of `d`'s slots was never written.
+    pub fn take(&mut self, d: usize) -> Vec<f32> {
+        std::mem::replace(&mut self.bufs[d], LockFreeChunkBuffer::new(0, self.cols)).into_rows()
+    }
+}
+
 /// The conventional mutex-guarded buffer, same interface (used by the "no
 /// lock-free queuing" ablation and as the reference for equivalence
 /// tests).
@@ -211,5 +319,75 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_slot_rejected() {
         LockFreeChunkBuffer::new(1, 1).write_row(1, &[0.0]);
+    }
+
+    /// Sequential reference for `ParallelEnqueue::fill`: per destination,
+    /// gather the listed rows in order.
+    fn gather_ref(src: &[f32], cols: usize, ids: &[u32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(ids.len() * cols);
+        for &r in ids {
+            out.extend_from_slice(&src[r as usize * cols..(r as usize + 1) * cols]);
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_enqueue_matches_sequential_gather() {
+        let cols = 3;
+        let n = 50;
+        let src: Vec<f32> = (0..n * cols).map(|i| i as f32).collect();
+        let dests: Vec<Vec<u32>> = vec![
+            (0..40u32).collect(),
+            vec![],
+            (5..45u32).rev().collect(),
+            vec![7, 7, 7, 0, 49],
+        ];
+        let slot_counts: Vec<usize> = dests.iter().map(Vec::len).collect();
+        for threads in [1, 4] {
+            ns_par::set_threads(threads);
+            let mut enq = ParallelEnqueue::new(cols, &slot_counts);
+            assert_eq!(enq.dests(), 4);
+            let views: Vec<&[u32]> = dests.iter().map(Vec::as_slice).collect();
+            enq.fill(&src, &views);
+            for (d, ids) in dests.iter().enumerate() {
+                assert_eq!(enq.take(d), gather_ref(&src, cols, ids), "dest {d}");
+            }
+        }
+        ns_par::set_threads(1);
+    }
+
+    #[test]
+    fn parallel_enqueue_large_send_crosses_chunk_boundaries() {
+        // Big enough that fill() splits into many slot ranges spanning
+        // several destinations; every row must still land exactly once.
+        ns_par::set_threads(4);
+        let cols = 16;
+        let n = 4096;
+        let src: Vec<f32> = (0..n * cols).map(|i| (i % 977) as f32).collect();
+        let dests: Vec<Vec<u32>> = (0..5usize)
+            .map(|d| ((d as u32 * 7) % 13..n as u32).step_by(d + 1).collect())
+            .collect();
+        let slot_counts: Vec<usize> = dests.iter().map(Vec::len).collect();
+        let mut enq = ParallelEnqueue::new(cols, &slot_counts);
+        let views: Vec<&[u32]> = dests.iter().map(Vec::as_slice).collect();
+        enq.fill(&src, &views);
+        for (d, ids) in dests.iter().enumerate() {
+            assert_eq!(enq.take(d), gather_ref(&src, cols, ids), "dest {d}");
+        }
+        ns_par::set_threads(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwritten slots")]
+    fn parallel_enqueue_take_before_fill_detected() {
+        let mut enq = ParallelEnqueue::new(2, &[3]);
+        let _ = enq.take(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count")]
+    fn parallel_enqueue_rejects_mismatched_row_lists() {
+        let enq = ParallelEnqueue::new(1, &[2, 2]);
+        enq.fill(&[1.0, 2.0], &[&[0, 1], &[0]]);
     }
 }

@@ -33,6 +33,7 @@ pub mod fault;
 pub mod membership;
 pub mod sim;
 
+pub use buffer::{LockFreeChunkBuffer, MutexChunkBuffer, ParallelEnqueue};
 pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
 pub use fabric::{Endpoint, Fabric, Message, MessageKind, NetError, NetStats, KIND_NAMES};
 pub use fault::{Fault, FaultPlan, KindSel, MsgSel, SendFate};

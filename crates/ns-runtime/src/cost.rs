@@ -75,6 +75,40 @@ impl CostFactors {
             ..self.clone()
         }
     }
+
+    /// A copy with every per-layer compute cost (`T_v` and `T_e`)
+    /// multiplied by `factor`; communication costs are untouched. The
+    /// thread-aware calibration uses `1 / parallel_speedup(threads)` so
+    /// Algorithm 4 weighs redundant computation at the throughput the
+    /// intra-worker pool actually delivers.
+    pub fn with_compute_scale(&self, factor: f64) -> CostFactors {
+        CostFactors {
+            t_v: self.t_v.iter().map(|t| t * factor).collect(),
+            t_e: self.t_e.iter().map(|t| t * factor).collect(),
+            ..self.clone()
+        }
+    }
+}
+
+/// Fraction of per-vertex/per-edge compute the intra-worker pool can run
+/// in parallel. Fixed (not measured) so that dependency plans remain a
+/// pure function of `(model, cluster, threads)` — a wall-clock-calibrated
+/// value would make Hybrid plans nondeterministic across runs.
+const PARALLEL_FRACTION: f64 = 0.9;
+
+/// Deterministic Amdahl's-law speedup of the compute kernels at `threads`
+/// intra-worker threads: `1 / ((1 - p) + p / threads)` with `p = 0.9`.
+/// `threads <= 1` yields exactly `1.0`.
+pub fn parallel_speedup(threads: usize) -> f64 {
+    let t = threads.max(1) as f64;
+    1.0 / ((1.0 - PARALLEL_FRACTION) + PARALLEL_FRACTION / t)
+}
+
+/// [`probe`], then folds the `threads`-thread compute speedup into `T_v`
+/// and `T_e` (Algorithm 4's compute term). `T_c` is unaffected: the
+/// fabric does not get faster because the worker has more cores.
+pub fn probe_threaded(model: &GnnModel, cluster: &ClusterSpec, threads: usize) -> CostFactors {
+    probe(model, cluster).with_compute_scale(1.0 / parallel_speedup(threads))
 }
 
 fn probe_topology(n_src: usize, n_dst: usize, edges: usize, seed: u64) -> LayerTopology {
@@ -212,6 +246,48 @@ mod tests {
             assert!((scaled.t_c[lz] - 3.0 * f.t_c[lz]).abs() < 1e-18);
             assert_eq!(scaled.t_v[lz], f.t_v[lz]);
             assert_eq!(scaled.t_e[lz], f.t_e[lz]);
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_is_monotone_and_bounded() {
+        assert_eq!(parallel_speedup(0), 1.0);
+        assert_eq!(parallel_speedup(1), 1.0);
+        let mut prev = 1.0;
+        for t in 2..=16 {
+            let s = parallel_speedup(t);
+            assert!(s > prev, "speedup must grow with threads");
+            assert!(s < t as f64, "super-linear speedup is impossible");
+            prev = s;
+        }
+        // Amdahl ceiling: 1 / (1 - p) = 10x for p = 0.9.
+        assert!(parallel_speedup(1_000_000) < 10.0);
+    }
+
+    #[test]
+    fn compute_scale_touches_only_t_v_and_t_e() {
+        let f = factors(ModelKind::Gcn);
+        let scaled = f.with_compute_scale(0.25);
+        for lz in 0..2 {
+            assert!((scaled.t_v[lz] - 0.25 * f.t_v[lz]).abs() < 1e-18);
+            assert!((scaled.t_e[lz] - 0.25 * f.t_e[lz]).abs() < 1e-18);
+            assert_eq!(scaled.t_c[lz], f.t_c[lz]);
+        }
+    }
+
+    #[test]
+    fn threaded_probe_cheapens_compute_deterministically() {
+        let model = GnnModel::two_layer(ModelKind::Gcn, 32, 16, 4, 5);
+        let c = ClusterSpec::aliyun_ecs(4);
+        let t1 = probe_threaded(&model, &c, 1);
+        let t4 = probe_threaded(&model, &c, 4);
+        let t4b = probe_threaded(&model, &c, 4);
+        for lz in 0..2 {
+            assert!(t4.t_v[lz] < t1.t_v[lz]);
+            assert!(t4.t_e[lz] < t1.t_e[lz]);
+            assert_eq!(t4.t_c[lz], t1.t_c[lz], "comm term must not change");
+            // Same inputs -> bit-equal factors (plans stay deterministic).
+            assert_eq!(t4.t_v[lz], t4b.t_v[lz]);
         }
     }
 

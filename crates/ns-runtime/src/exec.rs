@@ -30,7 +30,9 @@ use ns_gnn::GnnModel;
 use ns_graph::Dataset;
 use ns_metrics::{span, LayerSplit, MetricsFrame, MetricsRecorder, Phase, RunMetrics};
 use ns_net::fault::FaultPlan;
-use ns_net::{Endpoint, Fabric, Message, MessageKind, NetError, NetStats, KIND_NAMES};
+use ns_net::{
+    Endpoint, Fabric, Message, MessageKind, NetError, NetStats, ParallelEnqueue, KIND_NAMES,
+};
 use ns_tensor::{Adam, AdamState, Optimizer, ParamStore, Sgd, Tensor};
 
 use crate::error::{FailureCause, Result, RuntimeError};
@@ -74,6 +76,12 @@ pub struct ExecConfig {
     pub ring_order: bool,
     /// Gradient synchronization strategy.
     pub sync: SyncMode,
+    /// Assemble outgoing row/gradient messages through the lock-free
+    /// parallel enqueuer (§4.3): all peers' send buffers are filled in one
+    /// chunk-stealing job, then flushed in ring order. `false` gathers and
+    /// sends peer-by-peer on the worker thread (the "L" ablation of
+    /// Fig. 9). Payload bytes are identical either way.
+    pub lock_free: bool,
 }
 
 impl Default for ExecConfig {
@@ -83,6 +91,7 @@ impl Default for ExecConfig {
             optimizer: OptimizerKind::Adam,
             ring_order: true,
             sync: SyncMode::AllReduce,
+            lock_free: true,
         }
     }
 }
@@ -202,6 +211,46 @@ fn peer_order(me: usize, m: usize, ring: bool) -> Vec<usize> {
     } else {
         (0..m).filter(|&j| j != me).collect()
     }
+}
+
+/// Builds one send task's per-peer payload buffers through the lock-free
+/// parallel enqueuer (§4.3): every peer's rows are gathered from `src`
+/// by one chunk-stealing job over the flattened slot space, ready to be
+/// drained with `take(j)` in ring order. Returns `None` when the config
+/// disables lock-free enqueuing (the caller then gathers inline per
+/// peer) or when there is nothing to send.
+fn enqueue_payloads(
+    cfg: &ExecConfig,
+    rec: &MetricsRecorder,
+    src: &Tensor,
+    rows_per_peer: &[Vec<u32>],
+) -> Option<ParallelEnqueue> {
+    if !cfg.lock_free {
+        return None;
+    }
+    let slots: Vec<usize> = rows_per_peer.iter().map(Vec::len).collect();
+    let total: usize = slots.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let views: Vec<&[u32]> = rows_per_peer.iter().map(|r| &r[..]).collect();
+    let enq = ParallelEnqueue::new(src.cols(), &slots);
+    enq.fill(src.data(), &views);
+    rec.incr("net.enqueue.rows", total as u64);
+    Some(enq)
+}
+
+/// Drains the worker thread's [`ns_par`] counters into its recorder: how
+/// many parallel jobs its kernels issued, how many chunks they split
+/// into, and how many of those chunks pool workers stole off the shared
+/// cursor (`par.steal_count` — 0 under `--threads 1` or an all-inline
+/// epoch).
+fn export_par_stats(rec: &MetricsRecorder) {
+    let ps = ns_par::take_thread_stats();
+    rec.incr("compute.par_jobs", ps.jobs);
+    rec.incr("compute.par_chunks", ps.chunks);
+    rec.incr("compute.par_inline_jobs", ps.inline_jobs);
+    rec.incr("par.steal_count", ps.stolen);
 }
 
 /// Receives from `src` under the timeout/retry policy: each timeout
@@ -457,6 +506,8 @@ fn worker_body(
     // DepCache's one-time dependency retrieval, Algorithm 2 line 5).
     let features = dataset.features.gather_rows(&plan.feature_rows);
     rec.incr("dep.rows.cached", plan.prefetched_features() as u64);
+    // The pool size every parallel kernel on this worker will use.
+    rec.incr("compute.threads", ns_par::threads() as u64);
 
     // Labels and loss weights over owned rows.
     let total_train = dataset.num_train().max(1);
@@ -500,19 +551,25 @@ fn worker_body(
             // to the fabric traffic they interleave with).
             let input = {
                 let _comm = span!(rec, Phase::FwdComm, lz);
-                // GetFromDepNbr, send side: masters push their rows.
+                // GetFromDepNbr, send side: masters push their rows. With
+                // lock-free enqueuing, every peer's buffer fills in one
+                // chunk-stealing parallel job before the ring-order flush.
+                let mut enq = enqueue_payloads(cfg, rec, &prev, &lp.send_rows);
                 for j in peer_order(me, m, cfg.ring_order) {
                     if lp.send_ids[j].is_empty() {
                         continue;
                     }
-                    let rows = prev.gather_rows(&lp.send_rows[j]);
+                    let data = match enq.as_mut() {
+                        Some(q) => q.take(j),
+                        None => prev.gather_rows(&lp.send_rows[j]).into_vec(),
+                    };
                     ep.send(
                         j,
                         MessageKind::Rows {
                             layer: lz as u32,
                             ids: lp.send_ids[j].clone(),
-                            cols: rows.cols() as u32,
-                            data: rows.into_vec(),
+                            cols: prev.cols() as u32,
+                            data,
                         },
                     )
                     .map_err(|e| fail(abs_epoch, false, e))?;
@@ -594,19 +651,24 @@ fn worker_body(
             }
             let _comm = span!(rec, Phase::BwdComm, lz);
             let d = dims[lz];
-            // PostToDepNbr: mirror gradients return to their masters.
+            // PostToDepNbr: mirror gradients return to their masters,
+            // assembled the same way as the forward rows.
+            let mut enq = enqueue_payloads(cfg, rec, &input_grad, &lp.recv_rows);
             for j in peer_order(me, m, cfg.ring_order) {
                 if lp.recv_ids[j].is_empty() {
                     continue;
                 }
-                let rows = input_grad.gather_rows(&lp.recv_rows[j]);
+                let data = match enq.as_mut() {
+                    Some(q) => q.take(j),
+                    None => input_grad.gather_rows(&lp.recv_rows[j]).into_vec(),
+                };
                 ep.send(
                     j,
                     MessageKind::Grads {
                         layer: lz as u32,
                         ids: lp.recv_ids[j].clone(),
                         cols: d as u32,
-                        data: rows.into_vec(),
+                        data,
                     },
                 )
                 .map_err(|e| fail(abs_epoch, false, e))?;
@@ -662,6 +724,9 @@ fn worker_body(
             let _opt = span!(rec, Phase::OptStep);
             opt.step(&mut store, &grads);
         }
+
+        // Attribute this epoch's intra-worker parallelism to this worker.
+        export_par_stats(rec);
 
         let report = WorkerReport {
             loss: head.loss,

@@ -43,6 +43,7 @@ pub mod recovery;
 pub mod taskgraph;
 pub mod trainer;
 
+pub use cost::{parallel_speedup, probe_threaded, CostFactors};
 pub use error::{FailureCause, RuntimeError};
 pub use exec::{RecvConfig, RunState};
 pub use feedback::{CostCalibration, DecisionDelta, PeerWaitStats};

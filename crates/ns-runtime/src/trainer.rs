@@ -14,7 +14,7 @@ use ns_net::sim::{simulate, ResourceKind, SimReport};
 use ns_net::{ClusterSpec, ExecOptions, Fabric};
 use ns_tensor::ParamStore;
 
-use crate::cost::{probe, CostFactors};
+use crate::cost::{probe_threaded, CostFactors};
 use crate::error::{FailureCause, Result, RuntimeError};
 use crate::feedback::{self, DecisionDelta};
 use crate::exec::{
@@ -78,6 +78,11 @@ pub struct TrainerConfig {
     pub recovery: RecoveryConfig,
     /// Receive timeout/retry policy for the execution fabric.
     pub recv: RecvConfig,
+    /// Intra-worker compute threads for the `ns-par` pool (0 = auto:
+    /// keep the pool's current/default size). Applied in
+    /// [`Trainer::prepare`], so the cost probe sees the same thread
+    /// count the tensor kernels will run with.
+    pub threads: usize,
 }
 
 impl TrainerConfig {
@@ -97,6 +102,7 @@ impl TrainerConfig {
             fault: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
             recv: RecvConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -378,7 +384,8 @@ impl<'a> Trainer<'a> {
         model: &'a GnnModel,
         cfg: TrainerConfig,
     ) -> Result<Self> {
-        let costs = probe(model, &cfg.cluster);
+        ns_par::set_threads(cfg.threads);
+        let costs = probe_threaded(model, &cfg.cluster, ns_par::threads());
         let (plans, hybrid_info, decision) =
             plan_engine(dataset, model, &cfg, cfg.engine, cfg.cluster.workers, &costs, None)?;
         Ok(Self { dataset, model, cfg, plans, costs, hybrid_info, decision })
@@ -729,6 +736,7 @@ impl<'a> Trainer<'a> {
             lr: self.cfg.lr,
             optimizer: self.cfg.optimizer,
             ring_order: self.cfg.opts.ring,
+            lock_free: self.cfg.opts.lock_free,
             sync: self.cfg.sync,
         };
         let outcome = if self.cfg.recovery.enabled() {

@@ -1,4 +1,42 @@
 //! The dense 2-D tensor type and its eager (non-autograd) kernels.
+//!
+//! The heavy kernels (matmuls, gather/scatter, CSR aggregation) are
+//! row-blocked through [`ns_par`]: the output buffer is split into
+//! disjoint row ranges and each range runs the *same* per-row loop the
+//! sequential path uses, so results are bit-identical at any thread
+//! count (see `DESIGN.md` §11).
+
+/// Minimum estimated element-work before a kernel fans out to the
+/// thread pool; below this, dispatch overhead dominates.
+const PAR_MIN_WORK: usize = 1 << 15;
+
+/// Runs `kernel(row_lo, rows)` over disjoint row blocks of `out` (an
+/// `n_rows x row_width` row-major buffer). Fans out to [`ns_par`] when
+/// `n_rows * work_per_row` clears [`PAR_MIN_WORK`] and more than one
+/// thread is configured; otherwise runs the kernel once over the whole
+/// buffer. Either way every row is visited exactly once by exactly one
+/// invocation, which is what keeps results bit-identical.
+fn par_rows(
+    out: &mut [f32],
+    n_rows: usize,
+    row_width: usize,
+    work_per_row: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), n_rows * row_width);
+    if out.is_empty() {
+        return;
+    }
+    let threads = ns_par::threads();
+    if threads <= 1 || n_rows.saturating_mul(work_per_row.max(1)) < PAR_MIN_WORK {
+        kernel(0, out);
+        return;
+    }
+    let rows_per_chunk = ns_par::chunk_len(n_rows, threads);
+    ns_par::par_chunks(out, rows_per_chunk * row_width, |ci, chunk| {
+        kernel(ci * rows_per_chunk, chunk);
+    });
+}
 
 /// A dense, row-major, two-dimensional `f32` tensor.
 ///
@@ -142,23 +180,31 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        par_rows(&mut out, n, m, k * m, |lo, orows| {
+            for (ri, orow) in orows.chunks_mut(m).enumerate() {
+                let i = lo + ri;
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
     /// Returns `selfᵀ @ other` without materializing the transpose.
+    ///
+    /// Output row `i` depends only on column `i` of `self`, so the
+    /// kernel iterates `i`-outer / `kk`-inner: each output row has a
+    /// single owner and the per-element accumulation order (`kk`
+    /// ascending, zeros skipped) matches `self.transpose().matmul(other)`
+    /// exactly.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -167,23 +213,31 @@ impl Tensor {
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for kk in 0..k {
-            let arow = &self.data[kk * n..(kk + 1) * n];
-            let brow = &other.data[kk * m..(kk + 1) * m];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        par_rows(&mut out, n, m, k * m, |lo, orows| {
+            for (ri, orow) in orows.chunks_mut(m).enumerate() {
+                let i = lo + ri;
+                for kk in 0..k {
+                    let a = self.data[kk * n + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
     /// Returns `self @ otherᵀ` without materializing the transpose.
+    ///
+    /// Each output element is an independent dot product, accumulated
+    /// into local scalars over contiguous rows of both operands. Columns
+    /// are processed four at a time so `arow` is loaded once per block
+    /// and the four accumulators pipeline; the accumulation order per
+    /// element (ascending `kk`) is unchanged by the blocking.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -192,17 +246,40 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..m {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
+        par_rows(&mut out, n, m, k * m, |lo, orows| {
+            for (ri, orow) in orows.chunks_mut(m).enumerate() {
+                let i = lo + ri;
+                let arow = &self.data[i * k..(i + 1) * k];
+                let mut j = 0usize;
+                while j + 4 <= m {
+                    let b0 = &other.data[j * k..(j + 1) * k];
+                    let b1 = &other.data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &other.data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+                    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for (kk, &a) in arow.iter().enumerate() {
+                        a0 += a * b0[kk];
+                        a1 += a * b1[kk];
+                        a2 += a * b2[kk];
+                        a3 += a * b3[kk];
+                    }
+                    orow[j] = a0;
+                    orow[j + 1] = a1;
+                    orow[j + 2] = a2;
+                    orow[j + 3] = a3;
+                    j += 4;
                 }
-                out[i * m + j] = acc;
+                while j < m {
+                    let brow = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in arow.iter().zip(brow.iter()) {
+                        acc += a * b;
+                    }
+                    orow[j] = acc;
+                    j += 1;
+                }
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
@@ -304,28 +381,44 @@ impl Tensor {
 
     /// Gathers rows `idx` into a new `idx.len() x cols` tensor.
     pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
-        let mut out = Vec::with_capacity(idx.len() * self.cols);
-        for &i in idx {
-            out.extend_from_slice(self.row(i as usize));
-        }
-        Tensor::from_vec(idx.len(), self.cols, out)
+        let d = self.cols;
+        let mut out = vec![0.0f32; idx.len() * d];
+        par_rows(&mut out, idx.len(), d, d, |lo, orows| {
+            for (ri, orow) in orows.chunks_mut(d).enumerate() {
+                orow.copy_from_slice(self.row(idx[lo + ri] as usize));
+            }
+        });
+        Tensor::from_vec(idx.len(), d, out)
     }
 
     /// Scatter-add: `out[idx[r]] += self[r]` for every row `r`; output has
     /// `n_out` rows. The accumulation visits rows in ascending `r`, making
     /// the result deterministic for a fixed `idx`.
+    ///
+    /// Parallel execution partitions by *destination* row: each chunk
+    /// scans the full index list but accumulates only into the rows it
+    /// owns, so every output row sees contributions in the same ascending
+    /// `r` order as the sequential scan (bit-identical, no atomics).
     pub fn scatter_add_rows(&self, idx: &[u32], n_out: usize) -> Tensor {
         assert_eq!(idx.len(), self.rows, "scatter_add_rows: index count");
-        let mut out = Tensor::zeros(n_out, self.cols);
-        for (r, &i) in idx.iter().enumerate() {
-            let dst = i as usize;
-            debug_assert!(dst < n_out);
-            let src = &self.data[r * self.cols..(r + 1) * self.cols];
-            let d = &mut out.data[dst * self.cols..(dst + 1) * self.cols];
-            for (o, &s) in d.iter_mut().zip(src.iter()) {
-                *o += s;
+        let d = self.cols;
+        let mut out = Tensor::zeros(n_out, d);
+        let work_per_row = (idx.len() / n_out.max(1) + 1) * d.max(1);
+        par_rows(&mut out.data, n_out, d, work_per_row, |lo, orows| {
+            let hi = lo + orows.len() / d.max(1);
+            for (r, &i) in idx.iter().enumerate() {
+                let dst = i as usize;
+                debug_assert!(dst < n_out);
+                if dst < lo || dst >= hi {
+                    continue;
+                }
+                let src = &self.data[r * d..(r + 1) * d];
+                let drow = &mut orows[(dst - lo) * d..(dst - lo + 1) * d];
+                for (o, &s) in drow.iter_mut().zip(src.iter()) {
+                    *o += s;
+                }
             }
-        }
+        });
         out
     }
 
@@ -463,27 +556,31 @@ impl Tensor {
         let n_dst = dst_offsets.len() - 1;
         let d = self.cols;
         let mut out = Tensor::zeros(n_dst, d);
-        for dst in 0..n_dst {
-            let row = &mut out.data[dst * d..(dst + 1) * d];
-            for e in dst_offsets[dst]..dst_offsets[dst + 1] {
-                let src = edge_src[e] as usize;
-                debug_assert!(src < self.rows);
-                let srow = &self.data[src * d..(src + 1) * d];
-                match weights {
-                    Some(w) => {
-                        let we = w[e];
-                        for (o, &s) in row.iter_mut().zip(srow) {
-                            *o += we * s;
+        let n_edges = dst_offsets[n_dst];
+        let work_per_row = (n_edges / n_dst.max(1) + 1) * d.max(1);
+        par_rows(&mut out.data, n_dst, d, work_per_row, |lo, orows| {
+            for (ri, row) in orows.chunks_mut(d).enumerate() {
+                let dst = lo + ri;
+                for e in dst_offsets[dst]..dst_offsets[dst + 1] {
+                    let src = edge_src[e] as usize;
+                    debug_assert!(src < self.rows);
+                    let srow = &self.data[src * d..(src + 1) * d];
+                    match weights {
+                        Some(w) => {
+                            let we = w[e];
+                            for (o, &s) in row.iter_mut().zip(srow) {
+                                *o += we * s;
+                            }
                         }
-                    }
-                    None => {
-                        for (o, &s) in row.iter_mut().zip(srow) {
-                            *o += s;
+                        None => {
+                            for (o, &s) in row.iter_mut().zip(srow) {
+                                *o += s;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
         out
     }
 
@@ -501,27 +598,39 @@ impl Tensor {
         assert_eq!(n_dst, self.rows, "gradient rows must match destinations");
         let d = self.cols;
         let mut out = Tensor::zeros(n_src, d);
-        for dst in 0..n_dst {
-            let grow = &self.data[dst * d..(dst + 1) * d];
-            for e in dst_offsets[dst]..dst_offsets[dst + 1] {
-                let src = edge_src[e] as usize;
-                debug_assert!(src < n_src);
-                let orow = &mut out.data[src * d..(src + 1) * d];
-                match weights {
-                    Some(w) => {
-                        let we = w[e];
-                        for (o, &g) in orow.iter_mut().zip(grow) {
-                            *o += we * g;
-                        }
+        let n_edges = dst_offsets[n_dst];
+        let work_per_row = (n_edges / n_src.max(1) + 1) * d.max(1);
+        // Partitioned by *source* (output) row: each chunk walks the edge
+        // list in the same dst-then-edge order as the sequential scan and
+        // accumulates only into the rows it owns — same per-row FP order,
+        // no atomics.
+        par_rows(&mut out.data, n_src, d, work_per_row, |lo, orows| {
+            let hi = lo + orows.len() / d.max(1);
+            for dst in 0..n_dst {
+                let grow = &self.data[dst * d..(dst + 1) * d];
+                for e in dst_offsets[dst]..dst_offsets[dst + 1] {
+                    let src = edge_src[e] as usize;
+                    debug_assert!(src < n_src);
+                    if src < lo || src >= hi {
+                        continue;
                     }
-                    None => {
-                        for (o, &g) in orow.iter_mut().zip(grow) {
-                            *o += g;
+                    let orow = &mut orows[(src - lo) * d..(src - lo + 1) * d];
+                    match weights {
+                        Some(w) => {
+                            let we = w[e];
+                            for (o, &g) in orow.iter_mut().zip(grow) {
+                                *o += we * g;
+                            }
+                        }
+                        None => {
+                            for (o, &g) in orow.iter_mut().zip(grow) {
+                                *o += g;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
         out
     }
 
@@ -539,24 +648,50 @@ impl Tensor {
         let d = self.cols;
         let mut out = Tensor::zeros(n_dst, d);
         let mut argmax = vec![u32::MAX; n_dst * d];
-        for dst in 0..n_dst {
-            let (s, e) = (dst_offsets[dst], dst_offsets[dst + 1]);
-            if s == e {
-                continue;
-            }
-            for c in 0..d {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_e = u32::MAX;
-                for (idx, &src) in edge_src[s..e].iter().enumerate() {
-                    let v = self.data[src as usize * d + c];
-                    if v > best {
-                        best = v;
-                        best_e = (s + idx) as u32;
-                    }
+        let run = |lo: usize, hi: usize, orows: &mut [f32], arows: &mut [u32]| {
+            for dst in lo..hi {
+                let (s, e) = (dst_offsets[dst], dst_offsets[dst + 1]);
+                if s == e {
+                    continue;
                 }
-                out.data[dst * d + c] = best;
-                argmax[dst * d + c] = best_e;
+                for c in 0..d {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_e = u32::MAX;
+                    for (idx, &src) in edge_src[s..e].iter().enumerate() {
+                        let v = self.data[src as usize * d + c];
+                        if v > best {
+                            best = v;
+                            best_e = (s + idx) as u32;
+                        }
+                    }
+                    orows[(dst - lo) * d + c] = best;
+                    arows[(dst - lo) * d + c] = best_e;
+                }
             }
+        };
+        let n_edges = dst_offsets[n_dst];
+        let work = (n_edges / n_dst.max(1) + 1) * d.max(1);
+        let threads = ns_par::threads();
+        if threads <= 1 || n_dst.saturating_mul(work) < PAR_MIN_WORK || d == 0 {
+            run(0, n_dst, &mut out.data, &mut argmax);
+        } else {
+            // Two parallel output buffers (values + winning edges) share
+            // the same dst-row ownership, so a single range dispatch
+            // hands each chunk disjoint windows of both.
+            let optr = ns_par::SendPtr(out.data.as_mut_ptr());
+            let aptr = ns_par::SendPtr(argmax.as_mut_ptr());
+            let rows_per_chunk = ns_par::chunk_len(n_dst, threads);
+            ns_par::par_ranges(n_dst, rows_per_chunk, |lo, hi| {
+                // SAFETY: `par_ranges` hands out disjoint [lo, hi) row
+                // ranges, so the two windows are exclusively owned here.
+                let (orows, arows) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(optr.get().add(lo * d), (hi - lo) * d),
+                        std::slice::from_raw_parts_mut(aptr.get().add(lo * d), (hi - lo) * d),
+                    )
+                };
+                run(lo, hi, orows, arows);
+            });
         }
         (out, argmax)
     }
