@@ -59,18 +59,33 @@ enum Mode {
 /// `nts chaos`: run seeded randomized fault schedules and check the
 /// robustness invariants; exit nonzero if any schedule violates one.
 fn run_chaos(ca: &ChaosArgs) {
+    // Durable stores need a directory; default to a seed-derived scratch
+    // path so corrupt-checkpoint faults have generations to damage.
+    let ckpt_base = match &ca.ckpt_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("nts-chaos-{}-{}", ca.seed, std::process::id())),
+    };
     let cfg = ChaosConfig {
         dataset: ca.dataset.clone(),
         scale: ca.scale,
         workers: ca.workers,
         epochs: ca.epochs,
         checkpoint_every: ca.checkpoint_every,
+        corrupt: ca.corrupt,
+        ckpt_base: Some(ckpt_base.clone()),
         ..ChaosConfig::default()
     };
     println!(
         "chaos soak: {} schedules from seed {} | {} x{} workers, {} epochs, \
-         checkpoint every {}",
-        ca.schedules, ca.seed, cfg.dataset, cfg.workers, cfg.epochs, cfg.checkpoint_every,
+         checkpoint every {}, corrupt <= {:.2}, stores under {}",
+        ca.schedules,
+        ca.seed,
+        cfg.dataset,
+        cfg.workers,
+        cfg.epochs,
+        cfg.checkpoint_every,
+        cfg.corrupt,
+        ckpt_base.display(),
     );
     let outcomes = match chaos::soak(&cfg, ca.seed, ca.schedules) {
         Ok(o) => o,
@@ -79,20 +94,25 @@ fn run_chaos(ca: &ChaosArgs) {
             std::process::exit(1);
         }
     };
+    if ca.ckpt_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&ckpt_base);
+    }
     println!(
-        "{:<6} {:<6} {:>10} {:>5} {:>7} {:>7}  {}",
-        "seed", "pass", "loss", "rec", "member", "replans", "schedule"
+        "{:<6} {:<6} {:>10} {:>5} {:>7} {:>7} {:>5} {:>5}  {}",
+        "seed", "pass", "loss", "rec", "member", "replans", "crc", "fall", "schedule"
     );
     let mut failures = 0usize;
     for o in &outcomes {
         println!(
-            "{:<6} {:<6} {:>10.4} {:>5} {:>7} {:>7}  {}",
+            "{:<6} {:<6} {:>10.4} {:>5} {:>7} {:>7} {:>5} {:>5}  {}",
             o.seed,
             if o.passed() { "ok" } else { "FAIL" },
             o.final_loss,
             o.recoveries,
             o.membership_events,
             o.replans,
+            o.crc_failures,
+            o.ckpt_fallbacks,
             o.schedule,
         );
         for violation in &o.violations {
@@ -188,6 +208,7 @@ fn run(ra: &RunArgs, mode: Mode) {
     };
     cfg.recovery = ra.recovery();
     cfg.recv = ra.recv();
+    cfg.store = ra.store();
     let trainer = match neutronstar::runtime::Trainer::prepare(&dataset, &model, cfg) {
         Ok(t) => t,
         Err(e) => {

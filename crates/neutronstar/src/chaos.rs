@@ -11,13 +11,19 @@
 //!    baseline (faults may reorder float summation and reroute
 //!    dependencies, but must not corrupt the numerics);
 //! 3. every restart replays at most `checkpoint_every - 1` epochs
-//!    (checkpoint-bounded rollback);
-//! 4. every rejoin restores the full world size.
+//!    (checkpoint-bounded rollback; each durable-generation fallback
+//!    relaxes the bound by one more cadence);
+//! 4. every rejoin restores the full world size;
+//! 5. zero silent corruptions: every injected bit-flip on the wire is
+//!    caught by a frame CRC (`integrity.crc_fail`), and every damaged
+//!    checkpoint generation is skipped via the store's fallback chain
+//!    (`ckpt.fallbacks`) rather than loaded.
 //!
 //! Schedules are derived from a single `u64` seed via SplitMix64, so a
 //! failing seed reported by CI or `nts chaos` reproduces exactly.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 use ns_graph::datasets::by_name;
 use ns_graph::Dataset;
@@ -25,7 +31,9 @@ use ns_gnn::{GnnModel, ModelKind};
 use ns_net::fault::{Fault, FaultPlan, MsgSel};
 use ns_net::membership::MembershipEventKind;
 use ns_net::ClusterSpec;
-use ns_runtime::{EngineKind, RecoveryConfig, RuntimeError, Trainer, TrainerConfig, TrainingReport};
+use ns_runtime::{
+    EngineKind, RecoveryConfig, RuntimeError, StoreConfig, Trainer, TrainerConfig, TrainingReport,
+};
 
 /// Fixed workload the soak runs: small enough to execute hundreds of
 /// times, large enough to exercise multi-chunk recovery.
@@ -45,6 +53,13 @@ pub struct ChaosConfig {
     pub engine: EngineKind,
     /// Relative final-loss tolerance versus the fault-free baseline.
     pub loss_tolerance: f64,
+    /// Upper bound on the per-message wire-corruption probability drawn
+    /// by the generator (`0` disables corrupt faults entirely).
+    pub corrupt: f64,
+    /// Base directory for per-seed durable checkpoint stores. `None`
+    /// keeps checkpoints memory-only, which also disables on-disk
+    /// checkpoint-corruption faults (there is nothing to damage).
+    pub ckpt_base: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -57,6 +72,8 @@ impl Default for ChaosConfig {
             checkpoint_every: 2,
             engine: EngineKind::DepComm,
             loss_tolerance: 0.15,
+            corrupt: 0.25,
+            ckpt_base: None,
         }
     }
 }
@@ -97,6 +114,17 @@ impl ChaosSchedule {
                 Fault::Duplicate { p, .. } => {
                     let _ = write!(s, "dup:{p:.2}");
                 }
+                Fault::Corrupt { p, .. } => {
+                    let _ = write!(s, "corrupt:{p:.2}");
+                }
+                Fault::CorruptCkpt { epoch, p } => match epoch {
+                    Some(e) => {
+                        let _ = write!(s, "corrupt:ckpt:{p:.2}@e{e}");
+                    }
+                    None => {
+                        let _ = write!(s, "corrupt:ckpt:{p:.2}");
+                    }
+                },
             }
         }
         if self.rejoin {
@@ -177,6 +205,40 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     if rng.unit() < 0.5 {
         faults.push(Fault::Duplicate { sel: MsgSel::any(), p: rng.unit() * 0.5 });
     }
+    // Wire corruption: seeded bit-flips the receiver must catch by frame
+    // CRC and recover via the clean retransmitted copy — numerics must
+    // not move.
+    if cfg.corrupt > 0.0 && rng.unit() < 0.5 {
+        faults.push(Fault::Corrupt { sel: MsgSel::any(), p: rng.unit() * cfg.corrupt });
+    }
+
+    // On-disk corruption: with a durable store active, damage the
+    // generation persisted at the boundary of the chunk the *earliest*
+    // kill lands in, so its rollback finds the newest generation torn
+    // and must fall back one cadence further. The anchor has to be the
+    // earliest kill: after any failure or straggler eviction the
+    // survivors renumber, and a later kill's worker index may fall off
+    // the shrunken world and never fire — leaving the damaged
+    // generation unread. For the same reason the anchor's index must
+    // survive one possible eviction-renumber when a straggle is also
+    // scheduled.
+    if cfg.ckpt_base.is_some() {
+        let straggles = faults.iter().any(|f| matches!(f, Fault::Straggle { .. }));
+        let anchor = faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Kill { worker, epoch } => Some((*epoch, *worker)),
+                _ => None,
+            })
+            .min();
+        if let Some((epoch, worker)) = anchor {
+            let boundary = (epoch / cfg.checkpoint_every) * cfg.checkpoint_every;
+            let survives_renumber = worker + usize::from(straggles) < cfg.workers;
+            if boundary >= cfg.checkpoint_every && survives_renumber {
+                faults.push(Fault::CorruptCkpt { epoch: Some(boundary), p: 1.0 });
+            }
+        }
+    }
 
     ChaosSchedule { seed, faults, rejoin: rng.unit() < 0.7 }
 }
@@ -204,6 +266,12 @@ pub struct ChaosOutcome {
     pub membership_events: usize,
     /// Adaptive replans performed.
     pub replans: usize,
+    /// Corrupt frames detected by receive-side CRC checks
+    /// (`integrity.crc_fail`).
+    pub crc_failures: u64,
+    /// Damaged durable generations skipped during rollback
+    /// (`ckpt.fallbacks`).
+    pub ckpt_fallbacks: u64,
     /// Invariant violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -230,6 +298,7 @@ fn train(
     model: &GnnModel,
     fault: FaultPlan,
     rejoin: bool,
+    store_dir: Option<&Path>,
 ) -> Result<TrainingReport, RuntimeError> {
     let mut tc = TrainerConfig::new(cfg.engine, ClusterSpec::aliyun_ecs(cfg.workers));
     tc.fault = fault;
@@ -238,13 +307,16 @@ fn train(
     } else {
         RecoveryConfig::every(cfg.checkpoint_every)
     };
+    if let Some(dir) = store_dir {
+        tc.store = StoreConfig::at(dir);
+    }
     Trainer::prepare(ds, model, tc)?.train(cfg.epochs)
 }
 
 /// Runs the fault-free reference for `cfg`.
 pub fn baseline(cfg: &ChaosConfig) -> Result<Baseline, String> {
     let (ds, model) = materialize(cfg)?;
-    let report = train(cfg, &ds, &model, FaultPlan::default(), false)
+    let report = train(cfg, &ds, &model, FaultPlan::default(), false, None)
         .map_err(|e| format!("baseline run failed: {e}"))?;
     Ok(Baseline { final_loss: report.final_loss() as f64 })
 }
@@ -285,6 +357,10 @@ fn check_invariants(
     // 3. Checkpoint-bounded replay: each recovery pairs (in order) with
     // a Failed membership event carrying the epoch the failure surfaced
     // in; the rollback may replay at most cadence-1 completed epochs.
+    // Every durable-generation fallback (a damaged newest generation the
+    // store skipped) legitimately adds one more cadence of replay.
+    let fallbacks = report.metrics.total_counter("ckpt.fallbacks");
+    let replay_bound = cfg.checkpoint_every * (1 + fallbacks as usize) - 1;
     let failures: Vec<_> = report
         .membership
         .iter()
@@ -309,14 +385,14 @@ fn check_invariants(
                 "rollback to epoch {rollback_epoch} is after the failure at {}",
                 fail.epoch
             ));
-        } else if fail.epoch - rollback_epoch > cfg.checkpoint_every - 1 {
+        } else if fail.epoch - rollback_epoch > replay_bound {
             v.push(format!(
                 "restart replays {} epochs (failure at {}, rollback to \
-                 {rollback_epoch}); cadence {} bounds replay to {}",
+                 {rollback_epoch}); cadence {} with {fallbacks} fallbacks bounds \
+                 replay to {replay_bound}",
                 fail.epoch - rollback_epoch,
                 fail.epoch,
                 cfg.checkpoint_every,
-                cfg.checkpoint_every - 1
             ));
         }
     }
@@ -375,6 +451,30 @@ fn check_invariants(
         }
     }
 
+    // 5. Zero silent corruptions. Every wire bit-flip the plan injected
+    // must have tripped a receive-side CRC check, and a scheduled
+    // checkpoint corruption must have forced the rollback onto the
+    // fallback chain (loading the damaged generation would be silent
+    // acceptance).
+    let corrupts = report.metrics.total_counter("net.fault.corrupts");
+    let crc_fail = report.metrics.total_counter("integrity.crc_fail");
+    if corrupts > 0 && crc_fail == 0 {
+        v.push(format!(
+            "{corrupts} corrupt frames injected but zero CRC failures detected"
+        ));
+    }
+    let ckpt_corruption_scheduled = schedule
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::CorruptCkpt { .. }));
+    if ckpt_corruption_scheduled && fallbacks == 0 {
+        v.push(
+            "checkpoint corruption scheduled but no durable-generation fallback \
+             recorded"
+                .to_string(),
+        );
+    }
+
     v
 }
 
@@ -385,25 +485,36 @@ pub fn run_schedule(
     schedule: &ChaosSchedule,
 ) -> ChaosOutcome {
     let describe = schedule.describe();
+    let failed = |violations: Vec<String>| ChaosOutcome {
+        seed: schedule.seed,
+        schedule: describe.clone(),
+        final_loss: f64::NAN,
+        recoveries: 0,
+        membership_events: 0,
+        replans: 0,
+        crc_failures: 0,
+        ckpt_fallbacks: 0,
+        violations,
+    };
     let (ds, model) = match materialize(cfg) {
         Ok(x) => x,
-        Err(e) => {
-            return ChaosOutcome {
-                seed: schedule.seed,
-                schedule: describe,
-                final_loss: f64::NAN,
-                recoveries: 0,
-                membership_events: 0,
-                replans: 0,
-                violations: vec![e],
-            }
-        }
+        Err(e) => return failed(vec![e]),
     };
     let mut plan = FaultPlan::default().with_seed(schedule.seed);
     for f in &schedule.faults {
         plan = plan.with_fault(f.clone());
     }
-    match train(cfg, &ds, &model, plan, schedule.rejoin) {
+    // Each seed gets its own durable store so parallel soak runs never
+    // share generations; the directory is scratch and removed after.
+    let store_dir = cfg
+        .ckpt_base
+        .as_ref()
+        .map(|b| b.join(format!("seed-{:08x}", schedule.seed)));
+    let result = train(cfg, &ds, &model, plan, schedule.rejoin, store_dir.as_deref());
+    if let Some(dir) = &store_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    match result {
         Ok(report) => {
             let violations = check_invariants(cfg, schedule, base, &report);
             ChaosOutcome {
@@ -413,18 +524,12 @@ pub fn run_schedule(
                 recoveries: report.recoveries.len(),
                 membership_events: report.membership.len(),
                 replans: report.replans.len(),
+                crc_failures: report.metrics.total_counter("integrity.crc_fail"),
+                ckpt_fallbacks: report.metrics.total_counter("ckpt.fallbacks"),
                 violations,
             }
         }
-        Err(e) => ChaosOutcome {
-            seed: schedule.seed,
-            schedule: describe,
-            final_loss: f64::NAN,
-            recoveries: 0,
-            membership_events: 0,
-            replans: 0,
-            violations: vec![format!("run failed: {e}")],
-        },
+        Err(e) => failed(vec![format!("run failed: {e}")]),
     }
 }
 
@@ -493,9 +598,86 @@ mod tests {
                     Fault::Drop { p, .. } => assert!(*p <= 0.3),
                     Fault::Delay { delay_ms, .. } => assert!(*delay_ms <= 10),
                     Fault::Duplicate { p, .. } => assert!(*p <= 0.5),
+                    Fault::Corrupt { p, .. } => assert!(*p <= cfg.corrupt),
+                    Fault::CorruptCkpt { .. } => {
+                        panic!("ckpt corruption requires a durable store (ckpt_base)")
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn generator_schedules_ckpt_corruption_only_with_a_fallback_target() {
+        let cfg = ChaosConfig {
+            ckpt_base: Some(PathBuf::from("unused-by-generate")),
+            ..ChaosConfig::default()
+        };
+        let mut seen = false;
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            for f in &s.faults {
+                if let Fault::CorruptCkpt { epoch, p } = f {
+                    seen = true;
+                    assert_eq!(*p, 1.0);
+                    let b = epoch.expect("generator pins the boundary");
+                    assert!(b >= cfg.checkpoint_every);
+                    assert_eq!(b % cfg.checkpoint_every, 0);
+                    // The damaged boundary must belong to the *earliest*
+                    // kill: later kills may never fire once an earlier
+                    // membership change renumbers the survivors.
+                    let (anchor_epoch, anchor_worker) = s
+                        .faults
+                        .iter()
+                        .filter_map(|k| match k {
+                            Fault::Kill { worker, epoch } => Some((*epoch, *worker)),
+                            _ => None,
+                        })
+                        .min()
+                        .expect("ckpt corruption always rides a kill");
+                    assert_eq!(
+                        (anchor_epoch / cfg.checkpoint_every) * cfg.checkpoint_every,
+                        b
+                    );
+                    // And the anchor's worker index must survive one
+                    // straggler-eviction renumber, or the kill might
+                    // address a slot that no longer exists.
+                    let straggles =
+                        s.faults.iter().any(|f| matches!(f, Fault::Straggle { .. }));
+                    assert!(anchor_worker + usize::from(straggles) < cfg.workers);
+                }
+            }
+        }
+        assert!(seen, "200 seeds should schedule at least one ckpt corruption");
+    }
+
+    #[test]
+    fn corrupt_faults_are_detected_and_survived() {
+        let base_dir = std::env::temp_dir()
+            .join(format!("nts-chaos-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let cfg = ChaosConfig {
+            ckpt_base: Some(base_dir.clone()),
+            ..ChaosConfig::default()
+        };
+        let base = baseline(&cfg).unwrap();
+        // Hand-built worst case: noisy wire plus a guaranteed-damaged
+        // newest generation the rollback must skip.
+        let schedule = ChaosSchedule {
+            seed: 7,
+            faults: vec![
+                Fault::Kill { worker: 1, epoch: 5 },
+                Fault::Corrupt { sel: MsgSel::any(), p: 0.25 },
+                Fault::CorruptCkpt { epoch: Some(4), p: 1.0 },
+            ],
+            rejoin: false,
+        };
+        let outcome = run_schedule(&cfg, &base, &schedule);
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert_eq!(outcome.recoveries, 1);
+        assert!(outcome.crc_failures > 0, "wire flips must trip CRC checks");
+        assert!(outcome.ckpt_fallbacks >= 1, "torn generation must be skipped");
+        let _ = std::fs::remove_dir_all(&base_dir);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use ns_graph::Partitioner;
 use ns_net::fault::{parse_fault, FaultPlan};
 use ns_net::{ClusterSpec, ExecOptions};
 use ns_runtime::exec::SyncMode;
-use ns_runtime::{EngineKind, RecoveryConfig, RecvConfig};
+use ns_runtime::{EngineKind, RecoveryConfig, RecvConfig, StoreConfig};
 
 /// A parsed `nts` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +48,13 @@ pub struct ChaosArgs {
     pub epochs: usize,
     /// Checkpoint cadence in epochs.
     pub checkpoint_every: usize,
+    /// Upper bound on generated wire-corruption probabilities; 0
+    /// disables corrupt faults.
+    pub corrupt: f64,
+    /// Base directory for per-seed durable checkpoint stores. `None`
+    /// lets the runner pick a scratch directory under the system temp
+    /// dir (durable-store corruption faults need somewhere to land).
+    pub ckpt_dir: Option<String>,
 }
 
 impl Default for ChaosArgs {
@@ -60,6 +67,8 @@ impl Default for ChaosArgs {
             workers: 3,
             epochs: 6,
             checkpoint_every: 2,
+            corrupt: 0.25,
+            ckpt_dir: None,
         }
     }
 }
@@ -102,6 +111,11 @@ pub struct RunArgs {
     pub faults: Vec<String>,
     /// Checkpoint cadence in epochs; 0 disables recovery.
     pub checkpoint_every: usize,
+    /// Durable checkpoint store directory; `None` keeps checkpoints
+    /// memory-only.
+    pub ckpt_dir: Option<String>,
+    /// Durable generations to retain under `--ckpt-dir`.
+    pub keep_checkpoints: usize,
     /// Override for the first receive window in milliseconds.
     pub recv_timeout_ms: Option<u64>,
     /// Override for the number of doubled-window receive retries.
@@ -132,6 +146,8 @@ impl Default for RunArgs {
             save: None,
             faults: Vec::new(),
             checkpoint_every: 0,
+            ckpt_dir: None,
+            keep_checkpoints: 3,
             recv_timeout_ms: None,
             recv_retries: None,
             metrics_out: None,
@@ -163,6 +179,15 @@ impl RunArgs {
     /// The recovery policy implied by `--checkpoint-every`.
     pub fn recovery(&self) -> RecoveryConfig {
         RecoveryConfig::every(self.checkpoint_every)
+    }
+
+    /// The durable checkpoint store implied by `--ckpt-dir` /
+    /// `--keep-checkpoints` (disabled when no directory is given).
+    pub fn store(&self) -> StoreConfig {
+        match &self.ckpt_dir {
+            Some(dir) => StoreConfig::at(dir).keep(self.keep_checkpoints),
+            None => StoreConfig::default(),
+        }
     }
 
     /// The receive policy: defaults with any `--recv-timeout-ms` /
@@ -214,10 +239,21 @@ OPTIONS (train/simulate/probe):
                             drop:<kind>:<p>          drop+retransmit
                             delay:<kind>:<ms>        fixed extra latency
                             dup:<kind>:<p>           duplicate messages
+                            corrupt:<kind>:<p>       flip a bit per frame;
+                                                     caught by CRC, clean
+                                                     copy retransmitted
+                            corrupt:ckpt:<p>[@e<n>]  flip a bit in the
+                                                     durable generation
+                                                     saved at boundary n
                           <kind> is rows|grads|allreduce|control|any;
-                          drop/delay/dup accept @e<n> and @w<src>-w<dst>
+                          drop/delay/dup/corrupt accept @e<n> and
+                          @w<src>-w<dst>
   --checkpoint-every <n>  checkpoint cadence in epochs; 0 disables
                           rollback recovery (default 0)
+  --ckpt-dir <path>       persist each checkpoint as a CRC-versioned
+                          generation under <path>; rollbacks reload
+                          from disk, skipping damaged generations
+  --keep-checkpoints <k>  durable generations to retain (default 3)
   --recv-timeout-ms <ms>  first receive window before a timeout retry
                           (default 1000)
   --recv-retries <n>      doubled-window retries after the first
@@ -237,6 +273,10 @@ CHAOS OPTIONS (chaos):
   --workers <n>           worker count (default 3)
   --epochs <n>            epochs per schedule (default 6)
   --checkpoint-every <n>  checkpoint cadence (default 2)
+  --corrupt <p>           max wire-corruption probability per schedule;
+                          0 disables corrupt faults (default 0.25)
+  --ckpt-dir <path>       base directory for per-seed durable stores
+                          (default: scratch under the system temp dir)
 ";
 
 fn parse_flag_value<'a>(
@@ -351,6 +391,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         ra.checkpoint_every =
             v.parse().map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
     }
+    if let Some(v) = parse_flag_value(&flags, "ckpt-dir") {
+        ra.ckpt_dir = Some(v.clone());
+    }
+    if let Some(v) = parse_flag_value(&flags, "keep-checkpoints") {
+        ra.keep_checkpoints =
+            v.parse().map_err(|_| format!("bad --keep-checkpoints {v:?}"))?;
+    }
     if let Some(v) = parse_flag_value(&flags, "recv-timeout-ms") {
         ra.recv_timeout_ms =
             Some(v.parse().map_err(|_| format!("bad --recv-timeout-ms {v:?}"))?);
@@ -418,6 +465,14 @@ fn parse_chaos(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| format!("bad --checkpoint-every {value:?}"))?;
             }
+            "corrupt" => {
+                ca.corrupt =
+                    value.parse().map_err(|_| format!("bad --corrupt {value:?}"))?;
+                if !(0.0..=1.0).contains(&ca.corrupt) {
+                    return Err(format!("--corrupt {value:?} must be in [0, 1]"));
+                }
+            }
+            "ckpt-dir" => ca.ckpt_dir = Some(value.clone()),
             other => return Err(format!("unknown chaos flag --{other}")),
         }
     }
@@ -542,6 +597,41 @@ mod tests {
         assert_eq!(ra.threads, 4);
         assert_eq!(RunArgs::default().threads, 0);
         assert!(parse(&args("train --threads lots")).unwrap_err().contains("--threads"));
+    }
+
+    #[test]
+    fn durable_store_flags() {
+        let Command::Train(ra) =
+            parse(&args("train --ckpt-dir /tmp/ckpts --keep-checkpoints 5")).unwrap()
+        else {
+            panic!("expected train")
+        };
+        assert_eq!(ra.ckpt_dir.as_deref(), Some("/tmp/ckpts"));
+        assert_eq!(ra.keep_checkpoints, 5);
+        let store = ra.store();
+        assert!(store.enabled());
+        assert_eq!(store.keep, 5);
+        // Without --ckpt-dir, durability stays off.
+        assert!(!RunArgs::default().store().enabled());
+        assert!(parse(&args("train --keep-checkpoints none"))
+            .unwrap_err()
+            .contains("--keep-checkpoints"));
+    }
+
+    #[test]
+    fn corrupt_fault_spec_round_trips() {
+        let cmd = parse(&args(
+            "train --fault corrupt:grads:0.25@e1 --fault corrupt:ckpt:1.0@e4",
+        ))
+        .unwrap();
+        let Command::Train(ra) = cmd else { panic!("expected train") };
+        assert_eq!(ra.faults, vec!["corrupt:grads:0.25@e1", "corrupt:ckpt:1.0@e4"]);
+        let plan = ra.fault_plan().unwrap();
+        let specs: Vec<String> = plan.faults.iter().map(|f| f.to_spec()).collect();
+        assert_eq!(specs, vec!["corrupt:grads:0.25@e1", "corrupt:ckpt:1@e4"]);
+        assert!(parse(&args("train --fault corrupt:ckpt:2.0"))
+            .unwrap_err()
+            .contains("probability"));
     }
 
     #[test]

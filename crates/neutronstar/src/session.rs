@@ -6,7 +6,9 @@ use ns_net::fault::FaultPlan;
 use ns_net::{ClusterSpec, ExecOptions};
 use ns_runtime::exec::{OptimizerKind, RecvConfig, SyncMode};
 use ns_runtime::trainer::{SimSummary, Trainer, TrainerConfig};
-use ns_runtime::{EngineKind, HybridConfig, RecoveryConfig, RuntimeError, TrainingReport};
+use ns_runtime::{
+    EngineKind, HybridConfig, RecoveryConfig, RuntimeError, StoreConfig, TrainingReport,
+};
 
 /// Builder for a [`TrainingSession`].
 ///
@@ -60,6 +62,7 @@ pub struct SessionBuilder {
     recovery: RecoveryConfig,
     recv: RecvConfig,
     threads: usize,
+    store: StoreConfig,
 }
 
 impl Default for SessionBuilder {
@@ -78,6 +81,7 @@ impl Default for SessionBuilder {
             recovery: RecoveryConfig::default(),
             recv: RecvConfig::default(),
             threads: 0,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -158,6 +162,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Persist every checkpoint as a CRC-versioned generation under
+    /// `dir` (default: memory-only). Rollbacks then read the durable
+    /// store and skip damaged generations — the honest process-restart
+    /// path.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store.dir = Some(dir.into());
+        self
+    }
+
+    /// How many durable generations to retain (default: 3; clamped to
+    /// at least 1). Only meaningful with [`checkpoint_dir`](Self::checkpoint_dir).
+    pub fn keep_checkpoints(mut self, k: usize) -> Self {
+        self.store = self.store.keep(k);
+        self
+    }
+
     /// Intra-worker compute threads for the tensor/aggregation kernels
     /// (default: 0 = auto — one thread per available core, capped by the
     /// `ns-par` pool; results are bit-identical at any setting).
@@ -188,6 +208,7 @@ impl SessionBuilder {
             recovery: self.recovery,
             recv: self.recv,
             threads: self.threads,
+            store: self.store,
         };
         Ok(TrainingSession { trainer: Trainer::prepare(dataset, model, cfg)? })
     }
@@ -258,6 +279,37 @@ mod tests {
         let report = session.train(3).unwrap();
         assert_eq!(report.epochs.len(), 3);
         assert_eq!(report.recoveries.len(), 1);
+    }
+
+    #[test]
+    fn builder_wires_durable_checkpoints() {
+        let dir = std::env::temp_dir()
+            .join(format!("nts-session-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = by_name("cora").unwrap().materialize(0.2, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 1);
+        let session = TrainingSession::builder()
+            .engine(EngineKind::DepComm)
+            .cluster(ClusterSpec::aliyun_ecs(2))
+            .recovery(RecoveryConfig::every(1))
+            .checkpoint_dir(&dir)
+            .keep_checkpoints(2)
+            .build(&ds, &model)
+            .unwrap();
+        let report = session.train(3).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        let generations: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        assert!(
+            (1..=2).contains(&generations.len()),
+            "retention keeps at most 2 generations, found {generations:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! drops become retransmission delays (`deliver_at` in the future),
 //! duplicates become a second physical delivery that receivers suppress by
 //! sequence number.
+//!
+//! Integrity: every message carries the CRC32 of its compact wire
+//! serialization (see [`wire`](crate::wire)), stamped at send time.
+//! Receivers verify the checksum *before* admitting a message; a mismatch
+//! (injected by a `corrupt` fault) surfaces as [`NetError::CorruptFrame`]
+//! without advancing the duplicate-suppression watermark, so the clean
+//! retransmission shipped under the same sequence number is still
+//! admissible. Frame-header overhead is not metered in `sent_bytes` —
+//! that counter stays the payload ground truth.
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
@@ -25,6 +34,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::FaultPlan;
+use crate::wire;
 
 /// Failures surfaced by fabric operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +60,19 @@ pub enum NetError {
         /// Kind that actually arrived.
         got: &'static str,
     },
+    /// A frame failed CRC verification (bit flip in flight). Retriable:
+    /// the sender's clean retransmission arrives under the same sequence
+    /// number, so the caller should simply receive again.
+    CorruptFrame {
+        /// Peer whose frame failed verification.
+        peer: usize,
+        /// Sequence number of the corrupt frame.
+        seq: u64,
+        /// CRC carried in the frame header.
+        expected: u32,
+        /// CRC recomputed over the received payload.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -64,6 +87,11 @@ impl std::fmt::Display for NetError {
             NetError::UnexpectedKind { peer, expected, got } => {
                 write!(f, "peer {peer} sent {got}, expected {expected}")
             }
+            NetError::CorruptFrame { peer, seq, expected, computed } => write!(
+                f,
+                "corrupt frame from peer {peer} (seq {seq}): \
+                 header CRC {expected:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -188,6 +216,14 @@ pub struct NetStats {
     pub dups_injected: u64,
     /// Received duplicates this endpoint suppressed by sequence number.
     pub dups_suppressed: u64,
+    /// Sends the fault plan bit-flipped in flight (a clean retransmission
+    /// follows each one).
+    pub corrupts_injected: u64,
+    /// Received frames this endpoint rejected on CRC mismatch.
+    pub crc_failures: u64,
+    /// Clean retransmissions admitted after a CRC rejection of the same
+    /// sequence number.
+    pub rereads: u64,
 }
 
 impl NetStats {
@@ -212,6 +248,10 @@ pub struct Message {
     /// Earliest delivery time injected by the fault plan; `None` delivers
     /// immediately.
     pub deliver_at: Option<Instant>,
+    /// Frame checksum: CRC32 of the compact payload serialization (see
+    /// [`wire::payload_crc`]), stamped by the sender and verified by the
+    /// receiver before the message is admitted.
+    pub crc: u32,
     /// Payload.
     pub kind: MessageKind,
 }
@@ -230,6 +270,9 @@ pub struct Endpoint {
     epoch: Cell<usize>,
     next_seq: RefCell<Vec<u64>>,
     last_seen: RefCell<Vec<u64>>,
+    // Sequence number of the last CRC-rejected frame per peer (0 = none);
+    // lets the endpoint meter the clean retransmission as a re-read.
+    last_corrupt: RefCell<Vec<u64>>,
     pending: RefCell<Vec<Option<Message>>>,
     stats: RefCell<NetStats>,
 }
@@ -284,8 +327,32 @@ impl Endpoint {
             if fate.duplicate {
                 st.dups_injected += 1;
             }
+            if fate.corrupt {
+                st.corrupts_injected += 1;
+            }
         }
-        let msg = Message { src: self.me, seq, deliver_at, kind };
+        let crc = wire::payload_crc(&kind);
+        let mut msg = Message { src: self.me, seq, deliver_at, crc, kind };
+        if fate.corrupt {
+            // Ship a bit-flipped physical copy now (stamped with the clean
+            // CRC, so the receiver's verification fails) and push the clean
+            // copy out behind the modeled retransmission delay — the
+            // fabric's view of "corruption detected, re-requested".
+            let bit_seed = seq
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(((self.me as u64) << 32) | dst as u64);
+            let corrupted = Message {
+                kind: wire::flip_payload_bit(&msg.kind, bit_seed),
+                ..msg.clone()
+            };
+            // Best-effort like duplicates: the receiver may already have
+            // exited; the corrupt copy would have been rejected anyway.
+            let _ = self.txs[dst].send(corrupted);
+            msg.deliver_at = Some(
+                Instant::now()
+                    + Duration::from_millis(fate.delay_ms + self.faults.retransmit_ms),
+            );
+        }
         let dup = fate.duplicate.then(|| msg.clone());
         self.txs[dst]
             .send(msg)
@@ -306,19 +373,41 @@ impl Endpoint {
         self.stats.borrow().clone()
     }
 
-    /// Surfaces `msg` unless it is a duplicate delivery.
-    fn admit(&self, src: usize, msg: Message) -> Option<Message> {
-        let mut last = self.last_seen.borrow_mut();
-        if msg.seq <= last[src] {
+    /// Surfaces `msg` unless it is a duplicate delivery (`Ok(None)`) or it
+    /// fails CRC verification (`Err(CorruptFrame)`). Verification happens
+    /// *before* the duplicate-suppression watermark advances, so the clean
+    /// retransmission of a rejected sequence number is still admissible.
+    fn admit(&self, src: usize, msg: Message) -> Result<Option<Message>, NetError> {
+        if msg.seq <= self.last_seen.borrow()[src] {
             self.stats.borrow_mut().dups_suppressed += 1;
-            return None;
+            return Ok(None);
         }
-        last[src] = msg.seq;
-        Some(msg)
+        let computed = wire::payload_crc(&msg.kind);
+        if computed != msg.crc {
+            self.stats.borrow_mut().crc_failures += 1;
+            self.last_corrupt.borrow_mut()[src] = msg.seq;
+            return Err(NetError::CorruptFrame {
+                peer: src,
+                seq: msg.seq,
+                expected: msg.crc,
+                computed,
+            });
+        }
+        {
+            let mut corrupt = self.last_corrupt.borrow_mut();
+            if corrupt[src] == msg.seq {
+                corrupt[src] = 0;
+                self.stats.borrow_mut().rereads += 1;
+            }
+        }
+        self.last_seen.borrow_mut()[src] = msg.seq;
+        Ok(Some(msg))
     }
 
-    /// Blocks until a message from `src` arrives (waiting out injected
-    /// delivery delays), or the peer disconnects.
+    /// Blocks until a verified message from `src` arrives (waiting out
+    /// injected delivery delays), or the peer disconnects. CRC-rejected
+    /// frames are counted and skipped — the blocking receive simply waits
+    /// for the clean retransmission.
     pub fn recv_from(&self, src: usize) -> Result<Message, NetError> {
         loop {
             let msg = match self.pending.borrow_mut()[src].take() {
@@ -333,8 +422,10 @@ impl Endpoint {
                     std::thread::sleep(at - now);
                 }
             }
-            if let Some(m) = self.admit(src, msg) {
-                return Ok(m);
+            match self.admit(src, msg) {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) | Err(NetError::CorruptFrame { .. }) => continue,
+                Err(e) => return Err(e),
             }
         }
     }
@@ -343,7 +434,10 @@ impl Endpoint {
     /// [`NetError::RecvTimeout`] after `timeout`. A message whose injected
     /// delivery time falls beyond the window counts as not yet arrived (it
     /// is kept pending for the next attempt), so dropped-and-retransmitted
-    /// messages genuinely exercise the caller's retry path.
+    /// messages genuinely exercise the caller's retry path. A CRC-rejected
+    /// frame surfaces immediately as [`NetError::CorruptFrame`] — retriable,
+    /// since the clean retransmission follows under the same sequence
+    /// number.
     pub fn recv_from_timeout(
         &self,
         src: usize,
@@ -378,14 +472,17 @@ impl Endpoint {
                     std::thread::sleep(at - now);
                 }
             }
-            if let Some(m) = self.admit(src, msg) {
-                return Ok(m);
+            match self.admit(src, msg) {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => continue,
+                Err(e) => return Err(e),
             }
         }
     }
 
     /// Non-blocking receive from `src`. Messages with a pending injected
-    /// delay are not yet visible.
+    /// delay are not yet visible; CRC-rejected frames are counted and
+    /// skipped.
     pub fn try_recv_from(&self, src: usize) -> Option<Message> {
         loop {
             let msg = match self.pending.borrow_mut()[src].take() {
@@ -398,8 +495,9 @@ impl Endpoint {
                     return None;
                 }
             }
-            if let Some(m) = self.admit(src, msg) {
-                return Some(m);
+            match self.admit(src, msg) {
+                Ok(Some(m)) => return Some(m),
+                Ok(None) | Err(_) => continue,
             }
         }
     }
@@ -447,6 +545,7 @@ impl Fabric {
                 epoch: Cell::new(0),
                 next_seq: RefCell::new(vec![0; workers]),
                 last_seen: RefCell::new(vec![0; workers]),
+                last_corrupt: RefCell::new(vec![0; workers]),
                 pending: RefCell::new((0..workers).map(|_| None).collect()),
                 stats: RefCell::new(NetStats::for_world(workers)),
             })
@@ -675,6 +774,71 @@ mod tests {
         assert!(matches!(err, NetError::RecvTimeout { peer: 0, .. }));
         let msg = eps[1].recv_from_timeout(0, Duration::from_millis(500)).unwrap();
         assert!(matches!(msg.kind, MessageKind::Control(v) if v == 9.0));
+    }
+
+    #[test]
+    fn corrupt_frame_is_detected_then_clean_copy_arrives() {
+        let plan =
+            FaultPlan::default().with_fault(Fault::Corrupt { sel: MsgSel::any(), p: 1.0 });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        eps[0].send(1, MessageKind::Control(6.5)).unwrap();
+        assert_eq!(eps[0].stats().corrupts_injected, 1);
+        // First physical copy fails verification...
+        let err = eps[1].recv_from_timeout(0, Duration::from_millis(500)).unwrap_err();
+        assert!(matches!(err, NetError::CorruptFrame { peer: 0, seq: 1, .. }), "{err:?}");
+        // ...and the retry admits the clean retransmission, same seq.
+        let msg = eps[1].recv_from_timeout(0, Duration::from_millis(500)).unwrap();
+        assert_eq!(msg.seq, 1);
+        assert!(matches!(msg.kind, MessageKind::Control(v) if v == 6.5));
+        let st = eps[1].stats();
+        assert_eq!(st.crc_failures, 1);
+        assert_eq!(st.rereads, 1);
+        assert_eq!(st.dups_suppressed, 0, "clean copy is not a duplicate");
+    }
+
+    #[test]
+    fn blocking_recv_skips_corrupt_copy_transparently() {
+        let plan =
+            FaultPlan::default().with_fault(Fault::Corrupt { sel: MsgSel::any(), p: 1.0 });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        let payload = MessageKind::Rows {
+            layer: 1,
+            ids: vec![3, 4],
+            cols: 2,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        eps[0].send(1, payload).unwrap();
+        let msg = eps[1].recv_from(0).unwrap();
+        match msg.kind {
+            MessageKind::Rows { ids, data, .. } => {
+                assert_eq!(ids, vec![3, 4]);
+                assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0], "admitted payload is clean");
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert_eq!(eps[1].stats().crc_failures, 1);
+        assert_eq!(eps[1].stats().rereads, 1);
+    }
+
+    #[test]
+    fn corrupt_faults_preserve_fifo_and_content_across_a_stream() {
+        let plan = FaultPlan::default()
+            .with_seed(5)
+            .with_fault(Fault::Corrupt { sel: MsgSel::any(), p: 0.5 });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        for i in 0..20 {
+            eps[0].send(1, MessageKind::Control(i as f64)).unwrap();
+        }
+        for i in 0..20 {
+            match eps[1].recv_from(0).unwrap().kind {
+                MessageKind::Control(v) => assert_eq!(v, i as f64),
+                _ => panic!(),
+            }
+        }
+        let st = eps[1].stats();
+        assert!(st.crc_failures > 0, "p=0.5 over 20 sends must corrupt something");
+        assert_eq!(st.crc_failures, st.rereads, "every rejection was re-read");
+        assert_eq!(st.crc_failures, eps[0].stats().corrupts_injected);
     }
 
     #[test]

@@ -127,6 +127,77 @@ pub enum Fault {
         /// Per-message duplication probability in `[0, 1]`.
         p: f64,
     },
+    /// Each matching message independently has one payload bit flipped in
+    /// flight with probability `p`. The fabric delivers the corrupted
+    /// physical copy immediately and a clean retransmission
+    /// [`FaultPlan::retransmit_ms`] later under the same sequence number;
+    /// receivers detect the flip by frame CRC and admit only the clean
+    /// copy. The simulator models the detect-and-re-request round trip as
+    /// a retransmission delay.
+    Corrupt {
+        /// Which messages are eligible.
+        sel: MsgSel,
+        /// Per-message corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Each checkpoint generation persisted at a matching epoch boundary
+    /// independently has one bit flipped on disk with probability `p` —
+    /// a torn/bit-rotted write. Detected at load by the store's CRC; the
+    /// recovery fallback chain skips the bad generation.
+    CorruptCkpt {
+        /// Restrict to one checkpoint boundary epoch (`None`: every one).
+        epoch: Option<usize>,
+        /// Per-generation corruption probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl Fault {
+    /// Canonical CLI spec text for this fault; [`parse_fault`] accepts the
+    /// output verbatim (round-trip identity, covered by tests).
+    pub fn to_spec(&self) -> String {
+        fn sel_suffix(sel: &MsgSel) -> String {
+            let mut s = String::new();
+            if let Some(e) = sel.epoch {
+                s.push_str(&format!("@e{e}"));
+            }
+            if let (Some(src), Some(dst)) = (sel.src, sel.dst) {
+                s.push_str(&format!("@w{src}-w{dst}"));
+            }
+            s
+        }
+        fn kind_name(k: KindSel) -> &'static str {
+            match k {
+                KindSel::Rows => "rows",
+                KindSel::Grads => "grads",
+                KindSel::AllReduce => "allreduce",
+                KindSel::Control => "control",
+                KindSel::Any => "any",
+            }
+        }
+        match self {
+            Fault::Kill { worker, epoch } => format!("kill:w{worker}@e{epoch}"),
+            Fault::Straggle { worker, delay_ms } => {
+                format!("straggle:w{worker}:{delay_ms}ms")
+            }
+            Fault::Drop { sel, p } => {
+                format!("drop:{}:{p}{}", kind_name(sel.kind), sel_suffix(sel))
+            }
+            Fault::Delay { sel, delay_ms } => {
+                format!("delay:{}:{delay_ms}ms{}", kind_name(sel.kind), sel_suffix(sel))
+            }
+            Fault::Duplicate { sel, p } => {
+                format!("dup:{}:{p}{}", kind_name(sel.kind), sel_suffix(sel))
+            }
+            Fault::Corrupt { sel, p } => {
+                format!("corrupt:{}:{p}{}", kind_name(sel.kind), sel_suffix(sel))
+            }
+            Fault::CorruptCkpt { epoch, p } => match epoch {
+                Some(e) => format!("corrupt:ckpt:{p}@e{e}"),
+                None => format!("corrupt:ckpt:{p}"),
+            },
+        }
+    }
 }
 
 /// What the fault plan decides for one send.
@@ -136,6 +207,9 @@ pub struct SendFate {
     pub delay_ms: u64,
     /// Deliver a second copy of the message.
     pub duplicate: bool,
+    /// Deliver a bit-flipped copy first; the clean copy follows
+    /// [`FaultPlan::retransmit_ms`] later.
+    pub corrupt: bool,
 }
 
 /// A seeded, declarative schedule of injected faults.
@@ -213,6 +287,10 @@ impl FaultPlan {
     /// * `drop:<kind>:<p>[@e<n>][@w<src>-w<dst>]` — probabilistic loss,
     /// * `delay:<kind>:<ms>[@e<n>][@w<src>-w<dst>]` — fixed delay,
     /// * `dup:<kind>:<p>[@e<n>][@w<src>-w<dst>]` — probabilistic duplicate,
+    /// * `corrupt:<kind>:<p>[@e<n>][@w<src>-w<dst>]` — probabilistic
+    ///   in-flight bit flip (detected by frame CRC, then retransmitted),
+    /// * `corrupt:ckpt:<p>[@e<n>]` — probabilistic on-disk bit flip of the
+    ///   checkpoint generation written at a boundary epoch,
     ///
     /// where `<kind>` is `rows|grads|allreduce|control|any`.
     pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
@@ -262,9 +340,41 @@ impl FaultPlan {
                         fate.duplicate = true;
                     }
                 }
+                Fault::Corrupt { sel, p } => {
+                    if sel.matches(epoch, src, dst, kind)
+                        && self.coin(i, epoch, src, dst, seq) < *p
+                    {
+                        if kind.is_some() {
+                            fate.corrupt = true;
+                        } else {
+                            // The simulator moves untyped bytes: model the
+                            // detect-and-re-request round trip as the same
+                            // retransmission delay a drop costs.
+                            fate.delay_ms += self.retransmit_ms;
+                        }
+                    }
+                }
+                Fault::CorruptCkpt { .. } => {}
             }
         }
         fate
+    }
+
+    /// Decides whether the checkpoint generation persisted at boundary
+    /// `epoch` gets a bit flipped on disk, and which bit. Returns a raw
+    /// 64-bit draw to be reduced modulo the payload size by the store
+    /// writer. Pure in `(seed, epoch)`.
+    pub fn ckpt_fate(&self, epoch: usize) -> Option<u64> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if let Fault::CorruptCkpt { epoch: e, p } = f {
+                if e.is_none_or(|x| x == epoch) && self.coin(i, epoch, 0, 0, 1) < *p {
+                    // Second independent draw selects the bit.
+                    let bits = (self.coin(i, epoch, 0, 0, 2) * (1u64 << 53) as f64) as u64;
+                    return Some(bits);
+                }
+            }
+        }
+        None
     }
 
     /// Deterministic uniform draw in `[0, 1)` for fault `idx` on one
@@ -343,10 +453,27 @@ pub fn parse_fault(spec: &str) -> Result<Fault, String> {
                 .ok_or_else(|| format!("straggle spec {rest:?}: expected w<id>:<ms>"))?;
             Ok(Fault::Straggle { worker: parse_worker(w)?, delay_ms: parse_ms(ms)? })
         }
-        "drop" | "delay" | "dup" => {
+        "drop" | "delay" | "dup" | "corrupt" => {
             let (kind_s, rest2) = rest.split_once(':').ok_or_else(|| {
                 format!("{head} spec {rest:?}: expected <kind>:<value>[@...]")
             })?;
+            if head == "corrupt" && kind_s == "ckpt" {
+                let mut parts = rest2.split('@');
+                let value = parts
+                    .next()
+                    .ok_or_else(|| format!("corrupt spec {rest:?}: missing value"))?;
+                let mut epoch = None;
+                for q in parts {
+                    if q.starts_with('e') {
+                        epoch = Some(parse_epoch(q)?);
+                    } else {
+                        return Err(format!(
+                            "qualifier {q:?}: checkpoint corruption only scopes by e<n>"
+                        ));
+                    }
+                }
+                return Ok(Fault::CorruptCkpt { epoch, p: parse_prob(value)? });
+            }
             let kind = parse_kind(kind_s)?;
             let mut parts = rest2.split('@');
             let value = parts
@@ -371,12 +498,13 @@ pub fn parse_fault(spec: &str) -> Result<Fault, String> {
             Ok(match head {
                 "drop" => Fault::Drop { sel, p: parse_prob(value)? },
                 "dup" => Fault::Duplicate { sel, p: parse_prob(value)? },
+                "corrupt" => Fault::Corrupt { sel, p: parse_prob(value)? },
                 _ => Fault::Delay { sel, delay_ms: parse_ms(value)? },
             })
         }
-        other => {
-            Err(format!("unknown fault type {other:?} (kill|straggle|drop|delay|dup)"))
-        }
+        other => Err(format!(
+            "unknown fault type {other:?} (kill|straggle|drop|delay|dup|corrupt)"
+        )),
     }
 }
 
@@ -527,6 +655,103 @@ mod tests {
         assert!(parse_fault("drop:frames:0.1").unwrap_err().contains("unknown message kind"));
         assert!(parse_fault("meteor:w0@e1").unwrap_err().contains("unknown fault type"));
         assert!(parse_fault("drop:rows:0.1@x9").unwrap_err().contains("qualifier"));
+    }
+
+    #[test]
+    fn parses_corrupt_specs() {
+        assert_eq!(
+            parse_fault("corrupt:any:0.2").unwrap(),
+            Fault::Corrupt { sel: MsgSel::any(), p: 0.2 }
+        );
+        assert_eq!(
+            parse_fault("corrupt:rows:0.1@e2@w0-w3").unwrap(),
+            Fault::Corrupt {
+                sel: MsgSel {
+                    kind: KindSel::Rows,
+                    epoch: Some(2),
+                    src: Some(0),
+                    dst: Some(3)
+                },
+                p: 0.1
+            }
+        );
+        assert_eq!(
+            parse_fault("corrupt:ckpt:1.0@e4").unwrap(),
+            Fault::CorruptCkpt { epoch: Some(4), p: 1.0 }
+        );
+        assert_eq!(
+            parse_fault("corrupt:ckpt:0.5").unwrap(),
+            Fault::CorruptCkpt { epoch: None, p: 0.5 }
+        );
+        assert!(parse_fault("corrupt:ckpt:0.5@w0-w1").unwrap_err().contains("e<n>"));
+        assert!(parse_fault("corrupt:rows:1.5").unwrap_err().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn specs_round_trip_through_to_spec() {
+        let faults = [
+            Fault::Kill { worker: 2, epoch: 3 },
+            Fault::Straggle { worker: 1, delay_ms: 25 },
+            Fault::Drop { sel: MsgSel::any(), p: 0.125 },
+            Fault::Delay {
+                sel: MsgSel {
+                    kind: KindSel::AllReduce,
+                    epoch: Some(2),
+                    src: Some(0),
+                    dst: Some(3),
+                },
+                delay_ms: 15,
+            },
+            Fault::Duplicate {
+                sel: MsgSel { kind: KindSel::Control, epoch: None, src: None, dst: None },
+                p: 1.0,
+            },
+            Fault::Corrupt {
+                sel: MsgSel { kind: KindSel::Grads, epoch: Some(1), src: None, dst: None },
+                p: 0.25,
+            },
+            Fault::CorruptCkpt { epoch: Some(4), p: 1.0 },
+            Fault::CorruptCkpt { epoch: None, p: 0.5 },
+        ];
+        for f in faults {
+            let spec = f.to_spec();
+            assert_eq!(parse_fault(&spec).unwrap(), f, "round-trip of {spec:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_fate_is_deterministic_and_calibrated() {
+        let plan = FaultPlan::default()
+            .with_seed(11)
+            .with_fault(Fault::Corrupt { sel: MsgSel::any(), p: 0.3 });
+        let kind = MessageKind::Control(1.0);
+        let mut hits = 0;
+        for seq in 1..=4000u64 {
+            let a = plan.send_fate(0, 0, 1, Some(&kind), seq);
+            assert_eq!(a, plan.send_fate(0, 0, 1, Some(&kind), seq));
+            assert_eq!(a.delay_ms, 0, "typed corrupt does not delay the logical send");
+            if a.corrupt {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.05, "corrupt rate {rate}");
+        // Untyped (simulator) transfers see the retransmission delay instead.
+        let sim_fate_hits = (1..=4000u64)
+            .filter(|&seq| plan.send_fate(0, 0, 1, None, seq).delay_ms > 0)
+            .count();
+        assert!(sim_fate_hits > 0);
+    }
+
+    #[test]
+    fn ckpt_fate_scopes_by_epoch_and_is_deterministic() {
+        let plan = FaultPlan::default()
+            .with_seed(3)
+            .with_fault(Fault::CorruptCkpt { epoch: Some(4), p: 1.0 });
+        let hit = plan.ckpt_fate(4).expect("p=1.0 must fire");
+        assert_eq!(plan.ckpt_fate(4), Some(hit), "bit draw must be deterministic");
+        assert_eq!(plan.ckpt_fate(2), None, "other boundaries untouched");
+        assert_eq!(FaultPlan::default().ckpt_fate(4), None);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //!   gradient chunks, and all-reduce payloads between worker threads.
 //! * [`buffer`] — the lock-free position-indexed message buffer of §4.3,
 //!   plus a mutex-guarded variant used as the ablation baseline.
+//! * [`wire`] — checksummed frame format (magic, kind, length, CRC32)
+//!   wrapping every fabric payload; receivers verify before decode.
 //! * [`fault`] — deterministic, seeded fault injection (drops, delays,
-//!   duplicates, stragglers, worker kills) honored by both the fabric and
-//!   the simulator.
+//!   duplicates, corruption, stragglers, worker kills) honored by both the
+//!   fabric and the simulator.
 //! * [`membership`] — the coordinator's cluster membership view and the
 //!   worker rejoin handshake used by the elastic trainer.
 
@@ -32,6 +34,7 @@ pub mod fabric;
 pub mod fault;
 pub mod membership;
 pub mod sim;
+pub mod wire;
 
 pub use buffer::{LockFreeChunkBuffer, MutexChunkBuffer, ParallelEnqueue};
 pub use cluster::{ClusterSpec, DeviceModel, ExecOptions, NetModel};
@@ -41,3 +44,4 @@ pub use membership::{
     MemberState, MembershipEvent, MembershipEventKind, MembershipView, RejoinOffer,
 };
 pub use sim::{SimReport, TaskGraph, TaskId};
+pub use wire::{crc32, FrameError, FRAME_HEADER_BYTES};

@@ -11,6 +11,9 @@ pub enum FailureCause {
     /// A fabric operation failed: the peer disconnected, timed out past
     /// the retry budget, or broke protocol.
     Net(NetError),
+    /// The divergence guard tripped: the worker observed a non-finite
+    /// loss or gradient before the optimizer step.
+    Diverged,
 }
 
 impl std::fmt::Display for FailureCause {
@@ -18,6 +21,7 @@ impl std::fmt::Display for FailureCause {
         match self {
             FailureCause::Killed => write!(f, "worker crashed"),
             FailureCause::Net(e) => write!(f, "{e}"),
+            FailureCause::Diverged => write!(f, "non-finite loss or gradient"),
         }
     }
 }
@@ -65,6 +69,19 @@ pub enum RuntimeError {
     },
     /// A checkpoint could not be restored during recovery.
     CheckpointCorrupt(String),
+    /// The durable checkpoint store failed to persist a generation (disk
+    /// full, permission, rename failure). Training state is unaffected —
+    /// the in-memory checkpoint is still valid — but durability is not.
+    StoreIo(String),
+    /// Training diverged: a non-finite loss or gradient norm was detected
+    /// by the divergence guard. With recovery enabled the trainer treats
+    /// this like a fault and rolls back to the last good checkpoint.
+    Diverged {
+        /// The worker that observed the non-finite value.
+        worker: usize,
+        /// Epoch (from the start of the run) where divergence appeared.
+        epoch: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -88,6 +105,14 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::CheckpointCorrupt(msg) => {
                 write!(f, "checkpoint restore failed: {msg}")
             }
+            RuntimeError::StoreIo(msg) => {
+                write!(f, "checkpoint store write failed: {msg}")
+            }
+            RuntimeError::Diverged { worker, epoch } => write!(
+                f,
+                "worker {worker}: non-finite loss or gradient at epoch {epoch} \
+                 (training diverged)"
+            ),
         }
     }
 }

@@ -283,6 +283,15 @@ fn recv_retry(
                 attempt += 1;
                 wait = wait.saturating_mul(2);
             }
+            Err(e @ NetError::CorruptFrame { .. }) => {
+                // A corrupt frame is retriable: the sender's clean copy of
+                // the same sequence number is already in flight, so spend
+                // one retry waiting for it without widening the window.
+                if attempt >= rc.retries {
+                    break Err(e);
+                }
+                attempt += 1;
+            }
             other => break other,
         }
     };
@@ -444,6 +453,15 @@ fn export_net_stats(rec: &MetricsRecorder, stats: &NetStats) {
     }
     if stats.dups_suppressed > 0 {
         rec.incr("net.recv.dups_suppressed", stats.dups_suppressed);
+    }
+    if stats.corrupts_injected > 0 {
+        rec.incr("net.fault.corrupts", stats.corrupts_injected);
+    }
+    if stats.crc_failures > 0 {
+        rec.incr("integrity.crc_fail", stats.crc_failures);
+    }
+    if stats.rereads > 0 {
+        rec.incr("integrity.reread", stats.rereads);
     }
 }
 
@@ -720,6 +738,22 @@ fn worker_body(
             }
             .map_err(|e| fail(abs_epoch, true, e))?;
         }
+        // Divergence guard: a non-finite loss or gradient must never reach
+        // the optimizer step, where it would poison the parameters of every
+        // replica. The all-reduce already spread any NaN to all workers, so
+        // every replica trips the guard in the same epoch and the run fails
+        // as one fault (rolled back by the recovering trainer).
+        if !head.loss.is_finite()
+            || grads.iter().any(|g| g.data().iter().any(|v| !v.is_finite()))
+        {
+            rec.incr("guard.nan_events", 1);
+            return Err(WorkerFailure {
+                worker: me,
+                epoch: abs_epoch,
+                cause: FailureCause::Diverged,
+                in_sync: false,
+            });
+        }
         {
             let _opt = span!(rec, Phase::OptStep);
             opt.step(&mut store, &grads);
@@ -839,6 +873,9 @@ pub fn train_epochs_run(
                         peer: *peer,
                         waited_ms: *waited_ms,
                     }
+                }
+                FailureCause::Diverged => {
+                    RuntimeError::Diverged { worker: root.worker, epoch: root.epoch }
                 }
                 cause => RuntimeError::WorkerFailed {
                     worker: root.worker,
@@ -1048,6 +1085,58 @@ mod tests {
             // so the trajectory is identical.
             assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
         }
+    }
+
+    #[test]
+    fn corrupt_frames_do_not_change_numerics() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 3);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let clean =
+            train_epochs(&ds, &model, &plans, 2, &ExecConfig::default()).unwrap().0;
+        let run = RunState {
+            fault: FaultPlan::default()
+                .with_seed(13)
+                .with_fault(Fault::Corrupt { sel: MsgSel::any(), p: 0.25 }),
+            ..Default::default()
+        };
+        let (faulty, _, _, rm) =
+            train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run).unwrap();
+        for (a, b) in clean.iter().zip(faulty.iter()) {
+            // Every corrupt frame is caught by its CRC and replaced by the
+            // clean retransmission, so the trajectory is identical.
+            assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+        let injected: u64 =
+            rm.frames.values().map(|f| f.counter("net.fault.corrupts")).sum();
+        let caught: u64 =
+            rm.frames.values().map(|f| f.counter("integrity.crc_fail")).sum();
+        let reread: u64 =
+            rm.frames.values().map(|f| f.counter("integrity.reread")).sum();
+        assert!(injected > 0, "seed 13 at p=0.25 must corrupt something");
+        assert_eq!(caught, injected, "every injected flip must be detected");
+        assert_eq!(reread, injected, "every detection must be followed by a reread");
+    }
+
+    #[test]
+    fn non_finite_loss_surfaces_as_diverged() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let mut poisoned = model.fresh_store();
+        // Poison the output layer's bias: earlier layers pass through a
+        // ReLU, whose `max(0.0)` would silently squash a NaN.
+        let id = poisoned.iter().last().map(|(id, _, _)| id).unwrap();
+        poisoned.value_mut(id).data_mut()[0] = f32::NAN;
+        let run = RunState { init_params: Some(poisoned), ..Default::default() };
+        let err = train_epochs_run(&ds, &model, &plans, 2, &ExecConfig::default(), &run)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Diverged { epoch: 0, .. }),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

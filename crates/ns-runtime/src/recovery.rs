@@ -14,9 +14,7 @@
 //! process-level restart would read back from disk is exactly what the
 //! in-memory rollback uses.
 
-use std::io;
-
-use ns_tensor::checkpoint;
+use ns_tensor::checkpoint::{self, CheckpointError};
 use ns_tensor::{AdamState, ParamStore};
 
 /// Recovery policy for [`Trainer::train`](crate::trainer::Trainer::train).
@@ -92,6 +90,10 @@ pub struct Checkpoint {
     /// Parameter store in the `NTSCKPT1` wire format; empty means
     /// "initial parameters" (train from the model's fresh store).
     bytes: Vec<u8>,
+    /// CRC32 of `bytes`, fixed at capture time. [`Checkpoint::restore`]
+    /// re-verifies it, so any later bit-rot of the snapshot surfaces as a
+    /// typed [`CheckpointError::CrcMismatch`] instead of being parsed.
+    crc: u32,
     /// Optimizer state at the boundary (`None` for SGD or epoch 0).
     opt: Option<AdamState>,
 }
@@ -100,24 +102,36 @@ impl Checkpoint {
     /// The implicit checkpoint before epoch 0: fresh parameters, fresh
     /// optimizer.
     pub fn initial() -> Self {
-        Self { next_epoch: 0, bytes: Vec::new(), opt: None }
+        Self { next_epoch: 0, bytes: Vec::new(), crc: 0, opt: None }
     }
 
     /// Captures a checkpoint after the epoch `next_epoch - 1` completed.
     pub fn capture(next_epoch: usize, store: &ParamStore, opt: Option<AdamState>) -> Self {
         let mut bytes = Vec::new();
         checkpoint::save(store, &mut bytes).expect("Vec<u8> writes are infallible");
-        Self { next_epoch, bytes, opt }
+        let crc = checkpoint::crc32(&bytes);
+        Self { next_epoch, bytes, crc, opt }
     }
 
     /// Deserializes the recovery point. `Ok((None, None))` means resume
-    /// from initial state.
+    /// from initial state. Verifies the capture-time CRC before parsing,
+    /// so corruption is reported with the expected/computed checksum pair.
     #[allow(clippy::type_complexity)]
-    pub fn restore(&self) -> io::Result<(Option<ParamStore>, Option<AdamState>)> {
+    pub fn restore(
+        &self,
+    ) -> Result<(Option<ParamStore>, Option<AdamState>), CheckpointError> {
         if self.bytes.is_empty() {
             return Ok((None, None));
         }
-        let store = checkpoint::load(&mut self.bytes.as_slice())?;
+        let computed = checkpoint::crc32(&self.bytes);
+        if computed != self.crc {
+            return Err(CheckpointError::CrcMismatch {
+                offset: 0,
+                expected: self.crc,
+                computed,
+            });
+        }
+        let store = checkpoint::load_typed(&mut self.bytes.as_slice())?;
         Ok((Some(store), self.opt.clone()))
     }
 
@@ -131,12 +145,42 @@ impl Checkpoint {
         &self.bytes
     }
 
+    /// The optimizer state captured at the boundary, if any. The durable
+    /// store serializes it alongside the parameter snapshot.
+    pub fn opt_state(&self) -> Option<&AdamState> {
+        self.opt.as_ref()
+    }
+
     /// Rebuilds a checkpoint from raw serialized state — what a
     /// process-level restart does after reading the snapshot back from
-    /// disk. The bytes are validated lazily by [`Checkpoint::restore`],
-    /// which surfaces damage as `io::Error` instead of panicking.
+    /// disk. The CRC is recomputed from the given bytes (the durable
+    /// store verifies its own checksums before handing bytes over), so
+    /// [`Checkpoint::restore`] performs structural validation only and
+    /// surfaces damage as a typed [`CheckpointError`] instead of
+    /// panicking.
     pub fn from_raw(next_epoch: usize, bytes: Vec<u8>, opt: Option<AdamState>) -> Self {
-        Self { next_epoch, bytes, opt }
+        let crc = checkpoint::crc32(&bytes);
+        Self { next_epoch, bytes, crc, opt }
+    }
+
+    /// Rebuilds a checkpoint from raw bytes and an *externally recorded*
+    /// checksum (e.g. one read back from a durable header). Unlike
+    /// [`Checkpoint::from_raw`], the CRC is not recomputed, so
+    /// [`Checkpoint::restore`] rejects the bytes if they no longer match
+    /// the recorded value — the path a torn in-place overwrite takes.
+    pub fn from_raw_with_crc(
+        next_epoch: usize,
+        bytes: Vec<u8>,
+        crc: u32,
+        opt: Option<AdamState>,
+    ) -> Self {
+        Self { next_epoch, bytes, crc, opt }
+    }
+
+    /// The CRC32 recorded over the snapshot bytes at capture/rebuild
+    /// time.
+    pub fn crc(&self) -> u32 {
+        self.crc
     }
 }
 
@@ -185,13 +229,37 @@ mod tests {
 
     #[test]
     fn corrupted_bytes_surface_io_error_not_panic() {
+        // A flipped byte after capture fails the capture-time CRC with the
+        // expected/computed checksum pair exposed in the typed error.
         let store = sample_store();
         let mut ckpt = Checkpoint::capture(3, &store, None);
         ckpt.bytes[0] = b'X'; // break the magic
-        assert!(ckpt.restore().is_err());
+        match ckpt.restore().map(|_| ()) {
+            Err(CheckpointError::CrcMismatch { offset, expected, computed }) => {
+                assert_eq!(offset, 0);
+                assert_ne!(expected, computed);
+                assert_eq!(expected, ckpt.crc);
+            }
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+        // Truncation also changes the payload CRC.
         let mut truncated = Checkpoint::capture(3, &store, None);
         truncated.bytes.truncate(truncated.bytes.len() / 2);
-        assert!(truncated.restore().is_err());
+        assert!(matches!(
+            truncated.restore(),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+        // Damage applied *before* from_raw (the store path) skips the
+        // capture-time CRC — from_raw recomputes it — but still surfaces a
+        // typed structural error carrying the offending offset.
+        let clean = Checkpoint::capture(3, &store, None);
+        let mut raw = clean.raw_bytes().to_vec();
+        raw[0] = b'X';
+        let rebuilt = Checkpoint::from_raw(3, raw, None);
+        match rebuilt.restore().map(|_| ()) {
+            Err(CheckpointError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected Corrupt at offset 0, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::hybrid::{partition_dependencies, HybridConfig, HybridInfo};
 use crate::memory::check_device_fit;
 use crate::plan::{build_plans, DepDecision, WorkerPlan};
 use crate::recovery::{Checkpoint, RecoveryConfig};
+use crate::store::{CheckpointStore, StoreConfig};
 use crate::taskgraph::{build_epoch_task_graph, TgConfig};
 
 /// Which dependency-management engine to run.
@@ -76,6 +77,11 @@ pub struct TrainerConfig {
     pub fault: FaultPlan,
     /// Checkpoint/rollback policy (disabled by default).
     pub recovery: RecoveryConfig,
+    /// Durable checkpoint store (in-memory only by default). When a
+    /// directory is configured, every checkpoint boundary also persists a
+    /// verified on-disk generation, and rollbacks read the store — the
+    /// honest process-restart path, including its CRC fallback chain.
+    pub store: StoreConfig,
     /// Receive timeout/retry policy for the execution fabric.
     pub recv: RecvConfig,
     /// Intra-worker compute threads for the `ns-par` pool (0 = auto:
@@ -101,6 +107,7 @@ impl TrainerConfig {
             enforce_memory: true,
             fault: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
+            store: StoreConfig::default(),
             recv: RecvConfig::default(),
             threads: 0,
         }
@@ -569,6 +576,36 @@ impl<'a> Trainer<'a> {
         let origin = Instant::now();
         let coord = MetricsRecorder::new(COORDINATOR, origin);
         let mut run_metrics = RunMetrics::new();
+        let mut store = match &self.cfg.store.dir {
+            Some(dir) => Some(
+                CheckpointStore::open(dir, self.cfg.store.keep)
+                    .map_err(|e| RuntimeError::StoreIo(e.to_string()))?,
+            ),
+            None => None,
+        };
+        // Rolls the recovery point back. With a durable store this reads
+        // the *disk* (the honest process-restart path): the newest good
+        // generation wins, damaged ones are skipped as metered fallbacks,
+        // and a deeper-than-memory rollback truncates the already-collected
+        // epoch metrics to the resumed epoch.
+        let rollback = |ckpt: &mut Checkpoint,
+                        metrics: &mut Vec<EpochMetrics>,
+                        store: &Option<CheckpointStore>,
+                        coord: &MetricsRecorder| {
+            let Some(store) = store else { return };
+            let report = store.load_latest();
+            if report.fallbacks > 0 {
+                coord.incr("ckpt.fallbacks", report.fallbacks);
+            }
+            let resumed = match report.checkpoint {
+                Some(loaded) => loaded,
+                None => Checkpoint::initial(),
+            };
+            if resumed.next_epoch < ckpt.next_epoch {
+                metrics.truncate(resumed.next_epoch);
+            }
+            *ckpt = resumed;
+        };
         while ckpt.next_epoch < epochs {
             let chunk = cadence.min(epochs - ckpt.next_epoch);
             coord.set_epoch(ckpt.next_epoch as u32);
@@ -586,13 +623,27 @@ impl<'a> Trainer<'a> {
                 origin: Some(origin),
             };
             match train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run) {
-                Ok((chunk_metrics, store, opt, chunk_run)) => {
+                Ok((chunk_metrics, store_params, opt, chunk_run)) => {
                     metrics.extend(chunk_metrics);
                     let boundary = ckpt.next_epoch + chunk;
                     {
                         let _save = span!(&coord, Phase::CkptSave);
                         coord.incr("recovery.checkpoints", 1);
-                        ckpt = Checkpoint::capture(boundary, &store, opt);
+                        ckpt = Checkpoint::capture(boundary, &store_params, opt);
+                        if let Some(st) = store.as_mut() {
+                            let receipt = st
+                                .save(&ckpt, plans.len())
+                                .map_err(|e| RuntimeError::StoreIo(e.to_string()))?;
+                            coord.observe("ckpt.fsync_ns", receipt.fsync_ns);
+                            // Injected on-disk bit rot (chaos `corrupt:ckpt`
+                            // faults) lands on the persisted copy only; the
+                            // in-memory checkpoint stays clean, exactly like
+                            // real silent disk corruption.
+                            if let Some(bits) = fault.ckpt_fate(boundary) {
+                                st.damage_latest(bits)
+                                    .map_err(|e| RuntimeError::StoreIo(e.to_string()))?;
+                            }
+                        }
                     }
                     // Self-healing boundary pass, driven by this chunk's
                     // measured per-peer receive waits.
@@ -704,7 +755,22 @@ impl<'a> Trainer<'a> {
                     engine = new_engine;
                     decision = new_decision;
                     baseline_mean = None;
+                    rollback(&mut ckpt, &mut metrics, &store, &coord);
                     recoveries.push((slot, ckpt.next_epoch, engine.name().to_string()));
+                }
+                Err(RuntimeError::Diverged { worker, .. })
+                    if restarts < self.cfg.recovery.max_restarts =>
+                {
+                    // Divergence is a fault of the *state*, not a member:
+                    // nobody leaves the cluster and no replan is needed —
+                    // the run just rolls back to the last good checkpoint.
+                    // A deterministic divergence re-trips the guard each
+                    // attempt and surfaces once the restart budget is spent.
+                    restarts += 1;
+                    coord.incr("guard.nan_events", 1);
+                    coord.incr("recovery.rollbacks", 1);
+                    rollback(&mut ckpt, &mut metrics, &store, &coord);
+                    recoveries.push((worker, ckpt.next_epoch, engine.name().to_string()));
                 }
                 Err(e) => return Err(e),
             }
@@ -1035,6 +1101,88 @@ mod tests {
         let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
         assert!(coord.counter("membership.evictions") >= 1);
         assert!(coord.counter("membership.rejoins") >= 1);
+    }
+
+    #[test]
+    fn torn_durable_generation_falls_back_and_still_finishes() {
+        use ns_net::fault::Fault;
+        let dir = std::env::temp_dir()
+            .join(format!("nts-trainer-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        // Boundary 4's generation is silently bit-flipped on disk; the kill
+        // at epoch 5 then forces a rollback that must detect the damage and
+        // fall back to the generation from boundary 2.
+        c.fault = FaultPlan::kill(1, 5)
+            .with_fault(Fault::CorruptCkpt { epoch: Some(4), p: 1.0 });
+        c.recovery = RecoveryConfig::every(2);
+        c.store = StoreConfig::at(&dir);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(6).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(report.epochs.len(), 6, "run must finish all epochs");
+        assert_eq!(report.recoveries.len(), 1);
+        let (failed_worker, rollback_epoch, _) = &report.recoveries[0];
+        assert_eq!(*failed_worker, 1);
+        assert_eq!(
+            *rollback_epoch, 2,
+            "rollback must skip the torn boundary-4 generation"
+        );
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert_eq!(coord.counter("ckpt.fallbacks"), 1);
+        assert_eq!(coord.counter("recovery.rollbacks"), 1);
+        assert_eq!(coord.counter("guard.nan_events"), 0);
+        assert!(
+            report.final_loss() < report.epochs[0].loss,
+            "recovered run must still learn"
+        );
+    }
+
+    #[test]
+    fn durable_rollback_reads_the_store_not_memory() {
+        let dir = std::env::temp_dir()
+            .join(format!("nts-trainer-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::kill(1, 2);
+        c.recovery = RecoveryConfig::every(2);
+        c.store = StoreConfig::at(&dir).keep(2);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(4).unwrap();
+        // The surviving generations on disk verify end-to-end.
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        let gens = store.generations().unwrap();
+        assert!(!gens.is_empty() && gens.len() <= 2, "{gens:?}");
+        let loaded = store.load_latest();
+        assert_eq!(loaded.fallbacks, 0);
+        assert_eq!(loaded.checkpoint.unwrap().next_epoch, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(report.epochs.len(), 4);
+        assert_eq!(report.recoveries.len(), 1);
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert_eq!(coord.counter("ckpt.fallbacks"), 0);
+        let fsync = coord.histograms.get("ckpt.fsync_ns").expect("fsync histogram");
+        assert!(fsync.count > 0);
+    }
+
+    #[test]
+    fn deterministic_divergence_exhausts_restart_budget() {
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 2);
+        c.lr = 1e30; // guarantees a non-finite loss within a few steps
+        c.optimizer = OptimizerKind::Sgd;
+        c.recovery = RecoveryConfig::every(1);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let err = trainer.train(4).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Diverged { .. }),
+            "deterministic divergence must surface after the budget: {err:?}"
+        );
     }
 
     #[test]

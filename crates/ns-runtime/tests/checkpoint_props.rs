@@ -1,16 +1,33 @@
 //! Property tests hardening the checkpoint path: capture/restore must be
 //! an exact roundtrip (parameters and Adam state bit-for-bit), and
-//! arbitrarily damaged `NTSCKPT1` bytes must surface as `io::Error` —
-//! never a panic — because recovery reads snapshots that a crashing
-//! process may have half-written.
+//! arbitrarily damaged `NTSCKPT1` bytes must surface as a typed
+//! [`CheckpointError`] — never a panic — because recovery reads
+//! snapshots that a crashing process may have half-written. The durable
+//! store gets the stronger torn-write guarantee: *any* single bit flip
+//! or truncation of a generation file is detected at load (header CRC +
+//! payload CRC) and skipped via the fallback chain.
 //!
 //! These run under `cargo test` with the real proptest crate; the offline
 //! shadow workspace skips them (its proptest stand-in is empty).
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use proptest::prelude::*;
 
-use ns_runtime::Checkpoint;
+use ns_runtime::{Checkpoint, CheckpointStore};
+use ns_tensor::checkpoint::CheckpointError;
 use ns_tensor::{AdamState, ParamStore, Tensor};
+
+/// Unique scratch directory per proptest case (no tempfile dependency).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "nts-props-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 /// Deterministic pseudo-random tensor (proptest drives shape + seed; the
 /// contents only need to be varied, not uniform).
@@ -115,10 +132,12 @@ proptest! {
         prop_assert!(damaged.restore().is_err(), "truncated snapshot restored");
     }
 
-    /// Corrupting any single byte either errors cleanly or restores a
-    /// same-shaped store — it must never panic and never change the
-    /// parameter count. (A flip inside the f32 payload is undetectable
-    /// by design; structural damage must be caught.)
+    /// Corrupting any single byte of a *raw-rebuilt* snapshot (no outer
+    /// CRC recorded) either errors with a typed [`CheckpointError`] or
+    /// restores a same-shaped store — it must never panic and never
+    /// change the parameter count. (A raw flip inside the f32 payload is
+    /// undetectable by design at this layer; structural damage must be
+    /// caught, and the durable store's CRCs catch the rest.)
     #[test]
     fn bit_flips_never_panic(
         shapes in shape_strategy(),
@@ -133,11 +152,94 @@ proptest! {
         bytes[i] ^= flip;
         let damaged = Checkpoint::from_raw(3, bytes, None);
         match damaged.restore() {
-            Err(_) => {} // clean rejection
+            // Clean typed rejection: every variant carries the offset the
+            // reader had reached, for forensics.
+            Err(CheckpointError::Corrupt { .. })
+            | Err(CheckpointError::Io { .. })
+            | Err(CheckpointError::CrcMismatch { .. }) => {}
             Ok((Some(s), _)) => prop_assert_eq!(s.len(), store.len()),
             Ok((None, _)) => {
                 return Err(TestCaseError::fail("non-empty bytes restored to nothing"));
             }
         }
+    }
+
+    /// A flip *after* capture is always caught: the in-memory checkpoint
+    /// records a CRC over its bytes, so restore reports the mismatch no
+    /// matter which bit moved (even deep inside the f32 payload).
+    #[test]
+    fn post_capture_flips_always_detected(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        at in any::<prop::sample::Index>(),
+        flip_bit in 0u32..8,
+    ) {
+        let store = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(3, &store, None);
+        let mut bytes = ckpt.raw_bytes().to_vec();
+        let i = at.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        // Keep the original CRC, as a torn in-place overwrite would.
+        let damaged = Checkpoint::from_raw_with_crc(3, bytes, ckpt.crc(), None);
+        match damaged.restore() {
+            Err(CheckpointError::CrcMismatch { expected, computed, .. }) => {
+                prop_assert_eq!(expected, ckpt.crc());
+                prop_assert_ne!(expected, computed);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {i} escaped the checkpoint CRC: {:?}",
+                    other.map(|_| ())
+                )));
+            }
+        }
+    }
+
+    /// Torn-write guarantee for the durable store: any single bit flip
+    /// anywhere in a generation file — header, length field, or payload —
+    /// is detected at load and the damaged generation is skipped, never
+    /// silently loaded.
+    #[test]
+    fn durable_generation_flips_detected_at_load(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        at in any::<prop::sample::Index>(),
+        flip_bit in 0u32..8,
+    ) {
+        let dir = scratch_dir("flip");
+        let mut store = CheckpointStore::open(&dir, 2).expect("open scratch store");
+        let params = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(4, &params, Some(adam_with(&shapes, 1, seed)));
+        let receipt = store.save(&ckpt, 3).expect("save generation");
+        let mut bytes = std::fs::read(&receipt.path).expect("read generation back");
+        let i = at.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        std::fs::write(&receipt.path, &bytes).expect("write damaged generation");
+        let report = store.load_latest();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(report.fallbacks, 1, "flip at byte {} escaped detection", i);
+        prop_assert!(report.checkpoint.is_none(), "damaged generation was loaded");
+    }
+
+    /// Torn-write guarantee, truncation flavor: a generation cut to any
+    /// proper prefix (including zero bytes) is rejected at load.
+    #[test]
+    fn durable_generation_truncation_detected_at_load(
+        shapes in shape_strategy(),
+        seed in 0u64..10_000,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let dir = scratch_dir("cut");
+        let mut store = CheckpointStore::open(&dir, 2).expect("open scratch store");
+        let params = store_with(&shapes, seed);
+        let ckpt = Checkpoint::capture(2, &params, None);
+        let receipt = store.save(&ckpt, 3).expect("save generation");
+        let bytes = std::fs::read(&receipt.path).expect("read generation back");
+        let keep = cut.index(bytes.len()); // any proper prefix
+        std::fs::write(&receipt.path, &bytes[..keep]).expect("truncate generation");
+        let report = store.load_latest();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(report.fallbacks, 1, "truncation to {} bytes escaped", keep);
+        prop_assert!(report.checkpoint.is_none(), "truncated generation was loaded");
     }
 }

@@ -14,6 +14,16 @@
 //!
 //! Round trips are exact (bit-identical f32), so a restored replica
 //! continues training deterministically.
+//!
+//! Integrity: parse failures surface as a typed [`CheckpointError`]
+//! carrying the byte offset where the stream went wrong (and, for
+//! checksummed callers like the durable store in `ns-runtime`, the
+//! expected-vs-computed CRC pair). The original `io::Result` entry points
+//! are kept as thin wrappers via `From<CheckpointError> for io::Error`.
+//! The [`crc32`] helper is the same IEEE CRC32 the `ns-net` wire layer
+//! computes — the crates do not depend on each other, so each carries its
+//! own table; a cross-crate agreement test in `ns-runtime` pins them
+//! together.
 
 use std::io::{self, Read, Write};
 
@@ -21,6 +31,120 @@ use crate::nn::ParamStore;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 8] = b"NTSCKPT1";
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { CRC_POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC32 (IEEE 802.3) of `bytes`, used to checksum checkpoint payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why a checkpoint stream failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The underlying reader failed (`UnexpectedEof` for truncation) at
+    /// the given byte offset.
+    Io {
+        /// Stream offset at which the read failed.
+        offset: u64,
+        /// The underlying I/O error kind.
+        kind: io::ErrorKind,
+    },
+    /// The stream is structurally invalid (bad magic, absurd lengths,
+    /// mismatched shapes) at the given byte offset.
+    Corrupt {
+        /// Stream offset of the offending field.
+        offset: u64,
+        /// What was wrong.
+        what: String,
+    },
+    /// A checksummed payload failed CRC verification.
+    CrcMismatch {
+        /// Offset of the start of the checked region.
+        offset: u64,
+        /// CRC the trailer/header claimed.
+        expected: u32,
+        /// CRC recomputed over the bytes actually present.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { offset, kind } => {
+                write!(f, "checkpoint read failed at byte {offset}: {kind}")
+            }
+            CheckpointError::Corrupt { offset, what } => {
+                write!(f, "corrupt checkpoint at byte {offset}: {what}")
+            }
+            CheckpointError::CrcMismatch { offset, expected, computed } => write!(
+                f,
+                "checkpoint CRC mismatch at byte {offset}: \
+                 stored {expected:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        let kind = match &e {
+            CheckpointError::Io { kind, .. } => *kind,
+            CheckpointError::Corrupt { .. } | CheckpointError::CrcMismatch { .. } => {
+                io::ErrorKind::InvalidData
+            }
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// Reader wrapper tracking the stream offset, so errors can say *where*
+/// the bytes went bad.
+struct Counted<'a> {
+    inner: &'a mut dyn Read,
+    offset: u64,
+}
+
+impl Counted<'_> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CheckpointError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| CheckpointError::Io { offset: self.offset, kind: e.kind() })?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+}
 
 /// Serializes `store` into `w`.
 pub fn save(store: &ParamStore, w: &mut dyn Write) -> io::Result<()> {
@@ -39,38 +163,43 @@ pub fn save(store: &ParamStore, w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
-fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
-
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
-}
-
-/// Deserializes a [`ParamStore`] from `r`.
-pub fn load(r: &mut dyn Read) -> io::Result<ParamStore> {
+/// Deserializes a [`ParamStore`] from `r`, reporting failures as a typed
+/// [`CheckpointError`] with the offending byte offset.
+pub fn load_typed(r: &mut dyn Read) -> Result<ParamStore, CheckpointError> {
+    let mut r = Counted { inner: r, offset: 0 };
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(bad("not a NeutronStar checkpoint"));
+        return Err(CheckpointError::Corrupt {
+            offset: 0,
+            what: "not a NeutronStar checkpoint (bad magic)".into(),
+        });
     }
-    let count = read_u32(r)? as usize;
+    let count = r.u32()? as usize;
     let mut store = ParamStore::new();
     for _ in 0..count {
-        let name_len = read_u32(r)? as usize;
+        let name_len_at = r.offset;
+        let name_len = r.u32()? as usize;
         if name_len > 4096 {
-            return Err(bad("parameter name too long"));
+            return Err(CheckpointError::Corrupt {
+                offset: name_len_at,
+                what: format!("parameter name too long ({name_len} bytes)"),
+            });
         }
+        let name_at = r.offset;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name).map_err(|_| bad("invalid UTF-8 name"))?;
-        let rows = read_u32(r)? as usize;
-        let cols = read_u32(r)? as usize;
-        let elems = rows
-            .checked_mul(cols)
-            .ok_or_else(|| bad("tensor shape overflow"))?;
+        let name = String::from_utf8(name).map_err(|_| CheckpointError::Corrupt {
+            offset: name_at,
+            what: "invalid UTF-8 name".into(),
+        })?;
+        let shape_at = r.offset;
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let elems = rows.checked_mul(cols).ok_or_else(|| CheckpointError::Corrupt {
+            offset: shape_at,
+            what: "tensor shape overflow".into(),
+        })?;
         let mut bytes = vec![0u8; elems * 4];
         r.read_exact(&mut bytes)?;
         let data: Vec<f32> = bytes
@@ -82,22 +211,32 @@ pub fn load(r: &mut dyn Read) -> io::Result<ParamStore> {
     Ok(store)
 }
 
+/// Deserializes a [`ParamStore`] from `r` (the `io::Result` wrapper around
+/// [`load_typed`]).
+pub fn load(r: &mut dyn Read) -> io::Result<ParamStore> {
+    load_typed(r).map_err(io::Error::from)
+}
+
 /// Restores checkpointed values into an *existing* store (e.g. one freshly
 /// built by a model constructor) by matching parameter names. Errors if
 /// any name or shape disagrees — a checkpoint for a different
 /// architecture must not half-apply.
-pub fn restore_into(store: &mut ParamStore, r: &mut dyn Read) -> io::Result<()> {
-    let loaded = load(r)?;
+pub fn restore_into_typed(
+    store: &mut ParamStore,
+    r: &mut dyn Read,
+) -> Result<(), CheckpointError> {
+    let loaded = load_typed(r)?;
+    let mismatch = |what: String| CheckpointError::Corrupt { offset: 0, what };
     if loaded.len() != store.len() {
-        return Err(bad("parameter count mismatch"));
+        return Err(mismatch("parameter count mismatch".into()));
     }
     // Validate everything before mutating anything.
     for (_, name, value) in loaded.iter() {
         let id = store
             .find(name)
-            .ok_or_else(|| bad(&format!("unknown parameter {name:?}")))?;
+            .ok_or_else(|| mismatch(format!("unknown parameter {name:?}")))?;
         if store.value(id).shape() != value.shape() {
-            return Err(bad(&format!("shape mismatch for {name:?}")));
+            return Err(mismatch(format!("shape mismatch for {name:?}")));
         }
     }
     for (_, name, value) in loaded.iter() {
@@ -105,6 +244,11 @@ pub fn restore_into(store: &mut ParamStore, r: &mut dyn Read) -> io::Result<()> 
         *store.value_mut(id) = value.clone();
     }
     Ok(())
+}
+
+/// The `io::Result` wrapper around [`restore_into_typed`].
+pub fn restore_into(store: &mut ParamStore, r: &mut dyn Read) -> io::Result<()> {
+    restore_into_typed(store, r).map_err(io::Error::from)
 }
 
 #[cfg(test)]
@@ -155,6 +299,12 @@ mod tests {
     fn bad_magic_rejected() {
         let err = load(&mut b"NOTACKPT....".as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The typed API pins the offending offset.
+        let terr = load_typed(&mut b"NOTACKPT....".as_slice()).unwrap_err();
+        assert!(
+            matches!(terr, CheckpointError::Corrupt { offset: 0, .. }),
+            "{terr:?}"
+        );
     }
 
     #[test]
@@ -163,7 +313,31 @@ mod tests {
         let mut buf = Vec::new();
         save(&store, &mut buf).unwrap();
         buf.truncate(buf.len() - 7);
-        assert!(load(&mut buf.as_slice()).is_err());
+        let err = load_typed(&mut buf.as_slice()).unwrap_err();
+        match err {
+            CheckpointError::Io { offset, kind } => {
+                assert_eq!(kind, io::ErrorKind::UnexpectedEof);
+                assert!(offset as usize <= buf.len(), "offset {offset} in stream");
+            }
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checkpoint_error_converts_to_io_error() {
+        let e = CheckpointError::CrcMismatch { offset: 8, expected: 1, computed: 2 };
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("CRC mismatch"));
+        let e = CheckpointError::Io { offset: 3, kind: io::ErrorKind::UnexpectedEof };
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]
