@@ -8,11 +8,12 @@
 //! ```
 
 use neutronstar::chaos::{self, ChaosConfig};
-use neutronstar::cli::{parse, ChaosArgs, Command, RunArgs, USAGE};
+use neutronstar::cli::{parse, ChaosArgs, Command, RunArgs, ServeArgs, USAGE};
 use neutronstar::metrics::{summary_table, to_chrome_trace, to_json};
 use neutronstar::prelude::*;
 use neutronstar::runtime::cost::probe_threaded;
-use neutronstar::runtime::TrainerConfig;
+use neutronstar::runtime::serve::ServeReport;
+use neutronstar::runtime::{CheckpointStore, ServeDeployment, TrainerConfig};
 use neutronstar::tensor::checkpoint;
 
 fn main() {
@@ -24,6 +25,7 @@ fn main() {
         Ok(Command::Simulate(ra)) => run(&ra, Mode::Simulate),
         Ok(Command::Probe(ra)) => run(&ra, Mode::Probe),
         Ok(Command::Chaos(ca)) => run_chaos(&ca),
+        Ok(Command::Serve(sa)) => run_serve(&sa),
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             std::process::exit(2);
@@ -125,6 +127,157 @@ fn run_chaos(ca: &ChaosArgs) {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// `nts serve`: load the newest intact checkpoint generation from the
+/// durable store, stand up the sharded read-only deployment, and drive
+/// it with the seeded open-loop load.
+fn run_serve(sa: &ServeArgs) {
+    let spec = match DatasetSpec::named(&sa.dataset) {
+        Some(s) => s,
+        None => {
+            eprintln!("error: unknown dataset {:?} (see `nts datasets`)", sa.dataset);
+            std::process::exit(2);
+        }
+    };
+    let dataset = spec.materialize(sa.scale, sa.seed);
+    let hidden = sa.hidden.unwrap_or(dataset.hidden_dim);
+    let model = GnnModel::two_layer(
+        sa.model,
+        dataset.feature_dim(),
+        hidden,
+        dataset.num_classes,
+        sa.seed,
+    );
+
+    let store = match CheckpointStore::open(
+        std::path::Path::new(&sa.ckpt_dir),
+        sa.keep_checkpoints,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open checkpoint store {}: {e}", sa.ckpt_dir);
+            std::process::exit(1);
+        }
+    };
+    let loaded = store.load_latest();
+    let Some(ckpt) = loaded.checkpoint else {
+        eprintln!(
+            "error: no intact checkpoint generation under {} — train one first \
+             with `nts train --ckpt-dir {} --checkpoint-every <n>`",
+            sa.ckpt_dir, sa.ckpt_dir
+        );
+        std::process::exit(1);
+    };
+    if loaded.fallbacks > 0 {
+        println!(
+            "store: skipped {} damaged generation(s) before an intact one",
+            loaded.fallbacks
+        );
+    }
+    let params = match ckpt.restore() {
+        Ok((Some(params), _)) => params,
+        Ok((None, _)) => {
+            eprintln!("error: checkpoint under {} carries no parameters", sa.ckpt_dir);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: checkpoint restore failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = match sa.serve_config() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let deploy = match ServeDeployment::new(&dataset, &model, params, cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serve | {} x{} (scale {}) | {} hid {} | {} shards | checkpoint at epoch {} \
+         | {} queries at {} qps (zipf {})",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        sa.scale,
+        sa.model.name(),
+        hidden,
+        sa.shards,
+        ckpt.next_epoch,
+        sa.queries,
+        sa.rate_qps,
+        sa.zipf_s,
+    );
+
+    let report = match deploy.run_open_loop(&sa.open_loop()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "answered {} / offered {} | rejected {} | dropped {} | {:.0} qps achieved",
+        report.answers.len(),
+        report.offered,
+        report.rejected,
+        report.dropped,
+        report.achieved_qps,
+    );
+    println!(
+        "latency p50 {} µs | p99 {} µs | p999 {} µs | cache hit {:.1}%",
+        report.percentile_us(50.0),
+        report.percentile_us(99.0),
+        report.percentile_us(99.9),
+        report.cache_hit_ratio() * 100.0,
+    );
+    if report.shard_deaths > 0 {
+        println!(
+            "degraded: {} shard death(s), {} queries rerouted, zero dropped",
+            report.shard_deaths, report.reroutes,
+        );
+    }
+    if let Some(path) = &sa.metrics_out {
+        write_artifact(path, &to_json(&report.metrics), "metrics JSON");
+    }
+    if let Some(path) = &sa.report_out {
+        write_artifact(path, &serve_report_json(sa, &report), "serve report");
+    }
+    if report.dropped > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Renders one serving run as a single-entry `bench-serve/v1` document
+/// (the same shape `bench_serve` emits for its rate sweeps).
+fn serve_report_json(sa: &ServeArgs, r: &ServeReport) -> String {
+    format!(
+        "{{\n  \"schema\": \"bench-serve/v1\",\n  \"runs\": [\n    {{\n      \
+         \"rate_qps\": {:.1},\n      \"queries\": {},\n      \"answered\": {},\n      \
+         \"rejects\": {},\n      \"dropped\": {},\n      \"achieved_qps\": {:.1},\n      \
+         \"p50_us\": {},\n      \"p99_us\": {},\n      \"p999_us\": {},\n      \
+         \"cache_hit_ratio\": {:.4},\n      \"shard_deaths\": {},\n      \
+         \"reroutes\": {}\n    }}\n  ]\n}}\n",
+        sa.rate_qps,
+        r.offered,
+        r.answers.len(),
+        r.rejected,
+        r.dropped,
+        r.achieved_qps,
+        r.percentile_us(50.0),
+        r.percentile_us(99.0),
+        r.percentile_us(99.9),
+        r.cache_hit_ratio(),
+        r.shard_deaths,
+        r.reroutes,
+    )
 }
 
 /// Writes an observability artifact (metrics JSON or Chrome trace),

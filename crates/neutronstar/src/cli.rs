@@ -11,7 +11,8 @@ use ns_graph::Partitioner;
 use ns_net::fault::{parse_fault, FaultPlan};
 use ns_net::{ClusterSpec, ExecOptions};
 use ns_runtime::exec::SyncMode;
-use ns_runtime::{EngineKind, RecoveryConfig, RecvConfig, StoreConfig};
+use ns_runtime::serve::load::OpenLoop;
+use ns_runtime::{EngineKind, RecoveryConfig, RecvConfig, ServeConfig, StoreConfig};
 
 /// A parsed `nts` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,8 +28,134 @@ pub enum Command {
     /// `nts chaos ...` — seeded chaos soak over randomized fault
     /// schedules.
     Chaos(ChaosArgs),
+    /// `nts serve ...` — sharded read-only inference serving from a
+    /// durable checkpoint store.
+    Serve(ServeArgs),
     /// `nts help`.
     Help,
+}
+
+/// Options for `nts serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Dataset name from the registry. Must match the training run that
+    /// produced the checkpoint (parameter shapes are validated).
+    pub dataset: String,
+    /// Materialization scale; must match training.
+    pub scale: f64,
+    /// Model architecture; must match training.
+    pub model: ModelKind,
+    /// Hidden width (defaults to the dataset's paper pairing).
+    pub hidden: Option<usize>,
+    /// Dataset/model seed; must match training so the materialized
+    /// graph is identical.
+    pub seed: u64,
+    /// Durable checkpoint store directory (required).
+    pub ckpt_dir: String,
+    /// Durable generations retained in the store.
+    pub keep_checkpoints: usize,
+    /// Shard worker count.
+    pub shards: usize,
+    /// Partitioner assigning vertices to shards.
+    pub partitioner: Partitioner,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum queries per dispatched batch.
+    pub batch_max: usize,
+    /// Adaptive batch accretion window, µs.
+    pub batch_window_us: u64,
+    /// Maximum queries outstanding at the shards.
+    pub inflight_cap: usize,
+    /// Per-shard LRU feature-cache capacity, rows.
+    pub cache_rows: usize,
+    /// Frontend reply deadline before a shard is declared dead, ms.
+    pub reply_timeout_ms: u64,
+    /// Shard-to-shard feature-fetch deadline, ms.
+    pub fetch_timeout_ms: u64,
+    /// Modeled mirror-read penalty per fallback burst, µs.
+    pub slow_path_us: u64,
+    /// Queries the open-loop generator offers.
+    pub queries: usize,
+    /// Offered rate, queries per second.
+    pub rate_qps: f64,
+    /// Zipf skew of seed-vertex popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Raw `--fault` specs (repeatable); `kill:w<id>@e<n>` kills the
+    /// shard at endpoint `<id>` once it sees query id `>= n`.
+    pub faults: Vec<String>,
+    /// Metrics JSON output path.
+    pub metrics_out: Option<String>,
+    /// `bench-serve/v1` report output path.
+    pub report_out: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let sc = ServeConfig::default();
+        Self {
+            dataset: "google".to_string(),
+            scale: 0.005,
+            model: ModelKind::Gcn,
+            hidden: None,
+            seed: 42,
+            ckpt_dir: String::new(),
+            keep_checkpoints: 3,
+            shards: sc.shards,
+            partitioner: sc.partitioner,
+            queue_capacity: sc.queue_capacity,
+            batch_max: sc.batch_max,
+            batch_window_us: sc.batch_window_us,
+            inflight_cap: sc.inflight_cap,
+            cache_rows: sc.cache_rows,
+            reply_timeout_ms: sc.reply_timeout_ms,
+            fetch_timeout_ms: sc.fetch_timeout_ms,
+            slow_path_us: sc.slow_path_us,
+            queries: 10_000,
+            rate_qps: 2_000.0,
+            zipf_s: 0.9,
+            faults: Vec::new(),
+            metrics_out: None,
+            report_out: None,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Compiles the `--fault` specs into a seeded [`FaultPlan`].
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default().with_seed(self.seed);
+        for spec in &self.faults {
+            plan.push_spec(spec)?;
+        }
+        Ok(plan)
+    }
+
+    /// The serving engine configuration these flags describe.
+    pub fn serve_config(&self) -> Result<ServeConfig, String> {
+        Ok(ServeConfig {
+            shards: self.shards,
+            partitioner: self.partitioner,
+            queue_capacity: self.queue_capacity,
+            batch_max: self.batch_max,
+            batch_window_us: self.batch_window_us,
+            inflight_cap: self.inflight_cap,
+            cache_rows: self.cache_rows,
+            reply_timeout_ms: self.reply_timeout_ms,
+            fetch_timeout_ms: self.fetch_timeout_ms,
+            slow_path_us: self.slow_path_us,
+            fault: self.fault_plan()?,
+        })
+    }
+
+    /// The seeded open-loop load specification.
+    pub fn open_loop(&self) -> OpenLoop {
+        OpenLoop {
+            queries: self.queries,
+            rate_qps: self.rate_qps,
+            seed: self.seed,
+            zipf_s: self.zipf_s,
+        }
+    }
 }
 
 /// Options for `nts chaos`.
@@ -214,6 +341,7 @@ USAGE:
   nts simulate [options]
   nts probe    [options]
   nts chaos    [chaos options]
+  nts serve    --ckpt-dir <path> [serve options]
 
 OPTIONS (train/simulate/probe):
   --dataset <name>        registry name (default google)
@@ -277,6 +405,38 @@ CHAOS OPTIONS (chaos):
                           0 disables corrupt faults (default 0.25)
   --ckpt-dir <path>       base directory for per-seed durable stores
                           (default: scratch under the system temp dir)
+
+SERVE OPTIONS (serve):
+  --ckpt-dir <path>       durable checkpoint store to serve (required);
+                          the newest intact generation is loaded
+  --keep-checkpoints <k>  generations retained in the store (default 3)
+  --dataset/--scale/--model/--hidden/--seed
+                          must match the training run; parameter names
+                          and shapes are validated at startup
+  --shards <n>            shard workers, one partition each (default 2)
+  --partitioner <chunk|metis|fennel>
+  --queue-cap <n>         bounded admission queue; a full queue rejects
+                          rather than blocks (default 1024)
+  --batch-max <n>         max queries per dispatched batch (default 32)
+  --batch-window-us <us>  adaptive batch accretion window (default 400)
+  --inflight <n>          max queries outstanding at shards (default 256)
+  --cache-rows <n>        per-shard LRU feature-cache rows (default 4096)
+  --reply-timeout-ms <ms> shard reply deadline before it is declared
+                          dead and its queries reroute (default 250)
+  --fetch-timeout-ms <ms> shard-to-shard feature-fetch deadline before
+                          the mirror fallback (default 100)
+  --slow-path-us <us>     modeled mirror-read penalty (default 300)
+  --queries <n>           open-loop queries to offer (default 10000)
+  --rate <qps>            offered rate (default 2000)
+  --zipf <s>              seed-vertex popularity skew; 0 = uniform
+                          (default 0.9)
+  --fault <spec>          deterministic fault (repeatable); for serve,
+                          kill:w<id>@e<n> kills the shard at endpoint
+                          <id> (shards are 1..=S) once it receives a
+                          query id >= n; wire faults apply to serve
+                          traffic and heal via CRC + retransmission
+  --metrics-out <path>    write run metrics as JSON
+  --report <path>         write a bench-serve/v1 JSON report
 ";
 
 fn parse_flag_value<'a>(
@@ -295,6 +455,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "datasets" => return Ok(Command::Datasets),
         "chaos" => return parse_chaos(&args[1..]),
+        "serve" => return parse_serve(&args[1..]),
         "train" | "simulate" | "probe" => {}
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -428,6 +589,133 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "probe" => Command::Probe(ra),
         _ => unreachable!(),
     })
+}
+
+/// Parses the flags of `nts serve`.
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut sa = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        match key {
+            "dataset" => sa.dataset = value.clone(),
+            "scale" => {
+                sa.scale = value.parse().map_err(|_| format!("bad --scale {value:?}"))?;
+            }
+            "model" => {
+                sa.model = match value.as_str() {
+                    "gcn" => ModelKind::Gcn,
+                    "gin" => ModelKind::Gin,
+                    "gat" => ModelKind::Gat,
+                    "sage" => ModelKind::Sage,
+                    _ => return Err(format!("bad --model {value:?}")),
+                };
+            }
+            "hidden" => {
+                sa.hidden =
+                    Some(value.parse().map_err(|_| format!("bad --hidden {value:?}"))?);
+            }
+            "seed" => {
+                sa.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?;
+            }
+            "ckpt-dir" => sa.ckpt_dir = value.clone(),
+            "keep-checkpoints" => {
+                sa.keep_checkpoints = value
+                    .parse()
+                    .map_err(|_| format!("bad --keep-checkpoints {value:?}"))?;
+            }
+            "shards" => {
+                sa.shards = value.parse().map_err(|_| format!("bad --shards {value:?}"))?;
+            }
+            "partitioner" => {
+                sa.partitioner = match value.as_str() {
+                    "chunk" => Partitioner::Chunk,
+                    "metis" | "metis-like" => Partitioner::MetisLike,
+                    "fennel" => Partitioner::Fennel,
+                    _ => return Err(format!("bad --partitioner {value:?}")),
+                };
+            }
+            "queue-cap" => {
+                sa.queue_capacity =
+                    value.parse().map_err(|_| format!("bad --queue-cap {value:?}"))?;
+            }
+            "batch-max" => {
+                sa.batch_max =
+                    value.parse().map_err(|_| format!("bad --batch-max {value:?}"))?;
+            }
+            "batch-window-us" => {
+                sa.batch_window_us = value
+                    .parse()
+                    .map_err(|_| format!("bad --batch-window-us {value:?}"))?;
+            }
+            "inflight" => {
+                sa.inflight_cap =
+                    value.parse().map_err(|_| format!("bad --inflight {value:?}"))?;
+            }
+            "cache-rows" => {
+                sa.cache_rows =
+                    value.parse().map_err(|_| format!("bad --cache-rows {value:?}"))?;
+            }
+            "reply-timeout-ms" => {
+                sa.reply_timeout_ms = value
+                    .parse()
+                    .map_err(|_| format!("bad --reply-timeout-ms {value:?}"))?;
+            }
+            "fetch-timeout-ms" => {
+                sa.fetch_timeout_ms = value
+                    .parse()
+                    .map_err(|_| format!("bad --fetch-timeout-ms {value:?}"))?;
+            }
+            "slow-path-us" => {
+                sa.slow_path_us =
+                    value.parse().map_err(|_| format!("bad --slow-path-us {value:?}"))?;
+            }
+            "queries" => {
+                sa.queries =
+                    value.parse().map_err(|_| format!("bad --queries {value:?}"))?;
+            }
+            "rate" => {
+                sa.rate_qps = value.parse().map_err(|_| format!("bad --rate {value:?}"))?;
+                if sa.rate_qps <= 0.0 {
+                    return Err(format!("--rate {value:?} must be positive"));
+                }
+            }
+            "zipf" => {
+                sa.zipf_s = value.parse().map_err(|_| format!("bad --zipf {value:?}"))?;
+                if sa.zipf_s < 0.0 {
+                    return Err(format!("--zipf {value:?} must be >= 0"));
+                }
+            }
+            "fault" => {
+                parse_fault(value)?; // validate eagerly for a good error
+                sa.faults.push(value.clone());
+            }
+            "metrics-out" => sa.metrics_out = Some(value.clone()),
+            "report" => sa.report_out = Some(value.clone()),
+            other => return Err(format!("unknown serve flag --{other}")),
+        }
+    }
+    if sa.ckpt_dir.is_empty() {
+        return Err(
+            "serve needs --ckpt-dir (a durable store written by \
+             `nts train --ckpt-dir ...`)"
+                .to_string(),
+        );
+    }
+    if sa.shards == 0 {
+        return Err("serve needs --shards >= 1".to_string());
+    }
+    if sa.queue_capacity == 0 || sa.batch_max == 0 || sa.inflight_cap == 0 {
+        return Err(
+            "--queue-cap, --batch-max, and --inflight must all be >= 1".to_string()
+        );
+    }
+    Ok(Command::Serve(sa))
 }
 
 /// Parses the flags of `nts chaos`.
@@ -656,6 +944,86 @@ mod tests {
             .unwrap_err()
             .contains("checkpoint-every"));
         assert!(parse(&args("chaos --frobnicate 1")).unwrap_err().contains("chaos flag"));
+    }
+
+    #[test]
+    fn serve_subcommand_with_full_flags() {
+        let cmd = parse(&args(
+            "serve --ckpt-dir /tmp/ckpts --dataset reddit --scale 0.001 --model sage \
+             --seed 7 --shards 3 --partitioner fennel --queue-cap 256 --batch-max 16 \
+             --batch-window-us 200 --inflight 64 --cache-rows 512 \
+             --reply-timeout-ms 100 --fetch-timeout-ms 50 --slow-path-us 150 \
+             --queries 5000 --rate 1500 --zipf 1.1 --fault kill:w2@e100 \
+             --metrics-out /tmp/s.json --report /tmp/BENCH_serve.json",
+        ))
+        .unwrap();
+        let Command::Serve(sa) = cmd else { panic!("expected serve") };
+        assert_eq!(sa.ckpt_dir, "/tmp/ckpts");
+        assert_eq!(sa.dataset, "reddit");
+        assert_eq!(sa.model, ModelKind::Sage);
+        assert_eq!(sa.seed, 7);
+        assert_eq!(sa.shards, 3);
+        assert_eq!(sa.partitioner, Partitioner::Fennel);
+        assert_eq!(sa.queries, 5000);
+        assert_eq!(sa.rate_qps, 1500.0);
+        assert_eq!(sa.zipf_s, 1.1);
+        assert_eq!(sa.faults, vec!["kill:w2@e100"]);
+        assert_eq!(sa.metrics_out.as_deref(), Some("/tmp/s.json"));
+        assert_eq!(sa.report_out.as_deref(), Some("/tmp/BENCH_serve.json"));
+        let cfg = sa.serve_config().unwrap();
+        assert_eq!(cfg.shards, 3);
+        assert_eq!(cfg.queue_capacity, 256);
+        assert_eq!(cfg.batch_max, 16);
+        assert_eq!(cfg.batch_window_us, 200);
+        assert_eq!(cfg.inflight_cap, 64);
+        assert_eq!(cfg.cache_rows, 512);
+        assert_eq!(cfg.reply_timeout_ms, 100);
+        assert_eq!(cfg.fetch_timeout_ms, 50);
+        assert_eq!(cfg.slow_path_us, 150);
+        assert_eq!(cfg.fault.kill_epoch(2), Some(100));
+        assert_eq!(cfg.fault.seed, 7);
+        let load = sa.open_loop();
+        assert_eq!(load.queries, 5000);
+        assert_eq!(load.rate_qps, 1500.0);
+    }
+
+    #[test]
+    fn serve_defaults_mirror_engine_defaults() {
+        let Command::Serve(sa) = parse(&args("serve --ckpt-dir /tmp/c")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(sa, ServeArgs { ckpt_dir: "/tmp/c".into(), ..ServeArgs::default() });
+        let want = ns_runtime::ServeConfig::default();
+        let got = sa.serve_config().unwrap();
+        assert_eq!(got.queue_capacity, want.queue_capacity);
+        assert_eq!(got.batch_max, want.batch_max);
+        assert_eq!(got.inflight_cap, want.inflight_cap);
+        assert_eq!(got.cache_rows, want.cache_rows);
+    }
+
+    #[test]
+    fn serve_validation_errors() {
+        assert!(parse(&args("serve")).unwrap_err().contains("--ckpt-dir"));
+        assert!(parse(&args("serve --ckpt-dir /c --shards 0"))
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(parse(&args("serve --ckpt-dir /c --queue-cap 0"))
+            .unwrap_err()
+            .contains("--queue-cap"));
+        assert!(parse(&args("serve --ckpt-dir /c --rate -5"))
+            .unwrap_err()
+            .contains("--rate"));
+        assert!(parse(&args("serve --ckpt-dir /c --zipf -1"))
+            .unwrap_err()
+            .contains("--zipf"));
+        assert!(parse(&args("serve --ckpt-dir /c --fault explode:w1"))
+            .unwrap_err()
+            .contains("fault"));
+        assert!(parse(&args("serve --frobnicate 1"))
+            .unwrap_err()
+            .contains("serve flag"));
+        assert!(parse(&args("serve --queries")).unwrap_err().contains("needs a value"));
     }
 
     #[test]

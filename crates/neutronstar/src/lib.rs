@@ -45,14 +45,16 @@
 //!
 //! | layer | crate | role |
 //! |---|---|---|
-//! | facade | `neutronstar` | this API |
-//! | engines | `ns-runtime` | DepCache / DepComm / Hybrid (Algorithms 2–4), executor, task graphs |
+//! | facade | `neutronstar` | this API + the `nts` CLI (train / simulate / probe / chaos / serve) |
+//! | engines | `ns-runtime` | DepCache / DepComm / Hybrid (Algorithms 2–4), executor, task graphs, checkpoint store, serving |
 //! | models | `ns-gnn` | GCN / GIN / GAT in the decoupled graph-op / NN-op flow (Fig. 6) |
-//! | fabric | `ns-net` | worker channels, lock-free buffers, discrete-event cluster simulator |
+//! | fabric | `ns-net` | worker channels, lock-free buffers, fault plans, discrete-event cluster simulator |
 //! | graphs | `ns-graph` | CSC/CSR storage, Table 2 dataset registry, partitioners, k-hop closures |
 //! | tensors | `ns-tensor` | dense tensors + tape autograd (the PyTorch role) |
+//! | threads | `ns-par` | intra-worker thread pool + lock-free work queues |
 //! | baselines | `ns-baselines` | DistDGL-like, ROC-like, DGL/PyG-like comparisons |
 //! | metrics | `ns-metrics` | phase timers, counters, trace/JSON sinks (`docs/OBSERVABILITY.md`) |
+//! | bench | `bench` | one binary per paper table/figure, `bench_serve`, Criterion microbenches |
 
 pub use ns_baselines as baselines;
 pub use ns_gnn as gnn;

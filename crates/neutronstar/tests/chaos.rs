@@ -52,6 +52,7 @@ fn soak_seed_range_exercises_every_fault_kind() {
     let mut drops = 0;
     let mut delays = 0;
     let mut dups = 0;
+    let mut corrupts = 0;
     let mut rejoins = 0;
     for seed in BASE_SEED..BASE_SEED + SOAK_SEEDS {
         let s = generate(seed, &cfg);
@@ -63,6 +64,7 @@ fn soak_seed_range_exercises_every_fault_kind() {
                 Fault::Drop { .. } => drops += 1,
                 Fault::Delay { .. } => delays += 1,
                 Fault::Duplicate { .. } => dups += 1,
+                Fault::Corrupt { .. } | Fault::CorruptCkpt { .. } => corrupts += 1,
             }
         }
     }
@@ -71,6 +73,7 @@ fn soak_seed_range_exercises_every_fault_kind() {
     assert!(drops > 0, "no drops across the soak range");
     assert!(delays > 0, "no delays across the soak range");
     assert!(dups > 0, "no duplicates across the soak range");
+    assert!(corrupts > 0, "no corruptions across the soak range");
     assert!(rejoins > 0, "no rejoin schedules across the soak range");
 }
 

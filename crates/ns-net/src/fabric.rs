@@ -106,6 +106,12 @@ pub const ROWS_HEADER_BYTES: u64 = 13;
 pub const ALLREDUCE_HEADER_BYTES: u64 = 9;
 /// Fixed bytes of a `Control` message: kind tag (1) + value (8).
 pub const CONTROL_BYTES: u64 = 9;
+/// Fixed header bytes of a `Query` serialization: kind tag (1) + query
+/// count (4) + vertex count (4).
+pub const QUERY_HEADER_BYTES: u64 = 9;
+/// Fixed header bytes of a `Reply` serialization: kind tag (1) + query
+/// count (4).
+pub const REPLY_HEADER_BYTES: u64 = 5;
 
 /// What a message carries.
 #[derive(Debug, Clone)]
@@ -142,6 +148,24 @@ pub enum MessageKind {
     },
     /// Scalar control value (loss terms, counters, handshakes).
     Control(f64),
+    /// Inference-path request. Frontend → shard: `qids[i]` is the query
+    /// id whose seed vertex is `verts[i]` (parallel arrays). Shard →
+    /// shard: `qids` is empty and `verts` lists the feature rows the
+    /// sender wants (answered with a layer-0 [`MessageKind::Rows`]).
+    Query {
+        /// Query ids, parallel to `verts` (empty for feature fetches).
+        qids: Vec<u32>,
+        /// Seed vertices (frontend→shard) or wanted rows (shard→shard).
+        verts: Vec<u32>,
+    },
+    /// Inference-path answer, shard → frontend: the predicted class for
+    /// each answered query id.
+    Reply {
+        /// Query ids answered, parallel to `classes`.
+        qids: Vec<u32>,
+        /// Argmax class per query.
+        classes: Vec<u32>,
+    },
 }
 
 impl MessageKind {
@@ -160,6 +184,14 @@ impl MessageKind {
                 ALLREDUCE_HEADER_BYTES + (data.len() * std::mem::size_of::<f32>()) as u64
             }
             MessageKind::Control(_) => CONTROL_BYTES,
+            MessageKind::Query { qids, verts } => {
+                QUERY_HEADER_BYTES
+                    + ((qids.len() + verts.len()) * std::mem::size_of::<u32>()) as u64
+            }
+            MessageKind::Reply { qids, classes } => {
+                REPLY_HEADER_BYTES
+                    + ((qids.len() + classes.len()) * std::mem::size_of::<u32>()) as u64
+            }
         }
     }
 
@@ -170,6 +202,8 @@ impl MessageKind {
             MessageKind::Grads { .. } => "Grads",
             MessageKind::AllReduce { .. } => "AllReduce",
             MessageKind::Control(_) => "Control",
+            MessageKind::Query { .. } => "Query",
+            MessageKind::Reply { .. } => "Reply",
         }
     }
 
@@ -181,13 +215,15 @@ impl MessageKind {
             MessageKind::Grads { .. } => 1,
             MessageKind::AllReduce { .. } => 2,
             MessageKind::Control(_) => 3,
+            MessageKind::Query { .. } => 4,
+            MessageKind::Reply { .. } => 5,
         }
     }
 }
 
 /// Snake-case kind names, parallel to [`MessageKind::kind_index`]. Used to
 /// name per-kind metric counters.
-pub const KIND_NAMES: [&str; 4] = ["rows", "grads", "allreduce", "control"];
+pub const KIND_NAMES: [&str; 6] = ["rows", "grads", "allreduce", "control", "query", "reply"];
 
 /// Always-on traffic counters metered by one [`Endpoint`].
 ///
@@ -203,9 +239,9 @@ pub struct NetStats {
     /// Logical bytes sent ([`MessageKind::payload_bytes`] sum).
     pub sent_bytes: u64,
     /// Messages sent, indexed by [`MessageKind::kind_index`].
-    pub sent_msgs_by_kind: [u64; 4],
+    pub sent_msgs_by_kind: [u64; 6],
     /// Bytes sent, indexed by [`MessageKind::kind_index`].
-    pub sent_bytes_by_kind: [u64; 4],
+    pub sent_bytes_by_kind: [u64; 6],
     /// Messages sent to each destination worker (self-sends included).
     pub sent_msgs_by_peer: Vec<u64>,
     /// Bytes sent to each destination worker.
@@ -651,6 +687,36 @@ mod tests {
         assert_eq!(MessageKind::Control(0.0).payload_bytes(), CONTROL_BYTES);
         let r = MessageKind::Rows { layer: 0, ids: vec![1, 2], cols: 3, data: vec![0.0; 6] };
         assert_eq!(r.payload_bytes(), ROWS_HEADER_BYTES + 2 * 4 + 6 * 4);
+        let q = MessageKind::Query { qids: vec![1, 2], verts: vec![9, 10] };
+        assert_eq!(q.payload_bytes(), QUERY_HEADER_BYTES + 4 * 4);
+        let rep = MessageKind::Reply { qids: vec![1], classes: vec![3] };
+        assert_eq!(rep.payload_bytes(), REPLY_HEADER_BYTES + 2 * 4);
+    }
+
+    #[test]
+    fn query_reply_roundtrip_over_fabric() {
+        let eps = Fabric::new(2).into_endpoints();
+        eps[0]
+            .send(1, MessageKind::Query { qids: vec![7, 8], verts: vec![100, 200] })
+            .unwrap();
+        match eps[1].recv_from(0).unwrap().kind {
+            MessageKind::Query { qids, verts } => {
+                assert_eq!(qids, vec![7, 8]);
+                assert_eq!(verts, vec![100, 200]);
+            }
+            other => panic!("wrong kind {}", other.name()),
+        }
+        eps[1].send(0, MessageKind::Reply { qids: vec![7, 8], classes: vec![2, 5] }).unwrap();
+        match eps[0].recv_from(1).unwrap().kind {
+            MessageKind::Reply { qids, classes } => {
+                assert_eq!(qids, vec![7, 8]);
+                assert_eq!(classes, vec![2, 5]);
+            }
+            other => panic!("wrong kind {}", other.name()),
+        }
+        let st = eps[0].stats();
+        assert_eq!(st.sent_msgs_by_kind[4], 1);
+        assert_eq!(eps[1].stats().sent_msgs_by_kind[5], 1);
     }
 
     #[test]
@@ -700,7 +766,7 @@ mod tests {
         let st = eps[0].stats();
         assert_eq!(st.sent_msgs, 3);
         assert_eq!(st.sent_bytes, b0 + b1 + CONTROL_BYTES);
-        assert_eq!(st.sent_msgs_by_kind, [1, 0, 1, 1]);
+        assert_eq!(st.sent_msgs_by_kind, [1, 0, 1, 1, 0, 0]);
         assert_eq!(st.sent_bytes_by_kind[0], b0);
         assert_eq!(st.sent_bytes_by_kind[2], b1);
         assert_eq!(st.sent_msgs_by_peer, vec![0, 2, 1]);

@@ -28,6 +28,10 @@ pub enum KindSel {
     AllReduce,
     /// Scalar control messages.
     Control,
+    /// Inference query batches (serving path).
+    Query,
+    /// Inference reply batches (serving path).
+    Reply,
     /// Every kind.
     Any,
 }
@@ -46,6 +50,8 @@ impl KindSel {
                 | (KindSel::Grads, MessageKind::Grads { .. })
                 | (KindSel::AllReduce, MessageKind::AllReduce { .. })
                 | (KindSel::Control, MessageKind::Control(_))
+                | (KindSel::Query, MessageKind::Query { .. })
+                | (KindSel::Reply, MessageKind::Reply { .. })
         )
     }
 }
@@ -172,6 +178,8 @@ impl Fault {
                 KindSel::Grads => "grads",
                 KindSel::AllReduce => "allreduce",
                 KindSel::Control => "control",
+                KindSel::Query => "query",
+                KindSel::Reply => "reply",
                 KindSel::Any => "any",
             }
         }
@@ -428,6 +436,8 @@ fn parse_kind(s: &str) -> Result<KindSel, String> {
         "grads" => Ok(KindSel::Grads),
         "allreduce" => Ok(KindSel::AllReduce),
         "control" => Ok(KindSel::Control),
+        "query" => Ok(KindSel::Query),
+        "reply" => Ok(KindSel::Reply),
         "any" | "*" => Ok(KindSel::Any),
         other => Err(format!(
             "unknown message kind {other:?} (rows|grads|allreduce|control|any)"

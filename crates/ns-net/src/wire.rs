@@ -183,6 +183,25 @@ pub fn encode_payload(kind: &MessageKind) -> Vec<u8> {
             put_f32s(&mut out, data);
         }
         MessageKind::Control(v) => out.extend_from_slice(&v.to_le_bytes()),
+        MessageKind::Query { qids, verts } => {
+            put_u32(&mut out, qids.len() as u32);
+            put_u32(&mut out, verts.len() as u32);
+            for q in qids {
+                put_u32(&mut out, *q);
+            }
+            for v in verts {
+                put_u32(&mut out, *v);
+            }
+        }
+        MessageKind::Reply { qids, classes } => {
+            put_u32(&mut out, qids.len() as u32);
+            for q in qids {
+                put_u32(&mut out, *q);
+            }
+            for c in classes {
+                put_u32(&mut out, *c);
+            }
+        }
     }
     out
 }
@@ -215,6 +234,25 @@ pub fn payload_crc(kind: &MessageKind) -> u32 {
             }
         }
         MessageKind::Control(v) => acc.update(&v.to_le_bytes()),
+        MessageKind::Query { qids, verts } => {
+            acc.update(&(qids.len() as u32).to_le_bytes());
+            acc.update(&(verts.len() as u32).to_le_bytes());
+            for q in qids {
+                acc.update(&q.to_le_bytes());
+            }
+            for v in verts {
+                acc.update(&v.to_le_bytes());
+            }
+        }
+        MessageKind::Reply { qids, classes } => {
+            acc.update(&(qids.len() as u32).to_le_bytes());
+            for q in qids {
+                acc.update(&q.to_le_bytes());
+            }
+            for c in classes {
+                acc.update(&c.to_le_bytes());
+            }
+        }
     }
     acc.finish()
 }
@@ -292,6 +330,31 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<MessageKind, FrameError> {
         3 => MessageKind::Control(f64::from_le_bytes(
             cur.take(8)?.try_into().unwrap(),
         )),
+        4 => {
+            let nq = cur.u32()? as usize;
+            let nv = cur.u32()? as usize;
+            let mut qids = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                qids.push(cur.u32()?);
+            }
+            let mut verts = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                verts.push(cur.u32()?);
+            }
+            MessageKind::Query { qids, verts }
+        }
+        5 => {
+            let nq = cur.u32()? as usize;
+            let mut qids = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                qids.push(cur.u32()?);
+            }
+            let mut classes = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                classes.push(cur.u32()?);
+            }
+            MessageKind::Reply { qids, classes }
+        }
         other => return Err(FrameError::BadKind(other)),
     };
     if cur.pos != payload.len() {
@@ -311,7 +374,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<MessageKind, FrameError> {
         return Err(FrameError::BadMagic);
     }
     let tag = bytes[4];
-    if tag > 3 {
+    if tag > 5 {
         return Err(FrameError::BadKind(tag));
     }
     let len = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
@@ -370,6 +433,35 @@ pub fn flip_payload_bit(kind: &MessageKind, bit_seed: u64) -> MessageKind {
         MessageKind::Control(v) => {
             *v = f64::from_bits(v.to_bits() ^ (1 << (bit_seed % 64)));
         }
+        MessageKind::Query { qids, verts } => {
+            let total = qids.len() + verts.len();
+            if total == 0 {
+                // Flip a length field: structurally invalid, still CRC-caught.
+                qids.push(1 << (bit_seed % 32));
+            } else {
+                let slot = (bit_seed / 32) as usize % total;
+                if slot < qids.len() {
+                    qids[slot] = flip_u32(qids[slot], bit_seed);
+                } else {
+                    let i = slot - qids.len();
+                    verts[i] = flip_u32(verts[i], bit_seed);
+                }
+            }
+        }
+        MessageKind::Reply { qids, classes } => {
+            let total = qids.len() + classes.len();
+            if total == 0 {
+                qids.push(1 << (bit_seed % 32));
+            } else {
+                let slot = (bit_seed / 32) as usize % total;
+                if slot < qids.len() {
+                    qids[slot] = flip_u32(qids[slot], bit_seed);
+                } else {
+                    let i = slot - qids.len();
+                    classes[i] = flip_u32(classes[i], bit_seed);
+                }
+            }
+        }
     }
     out
 }
@@ -390,6 +482,9 @@ mod tests {
             MessageKind::AllReduce { round: 7, data: vec![0.25, -0.75] },
             MessageKind::AllReduce { round: 0, data: vec![] },
             MessageKind::Control(-3.125),
+            MessageKind::Query { qids: vec![1, 2, 3], verts: vec![40, 50, 60] },
+            MessageKind::Query { qids: vec![], verts: vec![7, 9] },
+            MessageKind::Reply { qids: vec![11, 12], classes: vec![0, 6] },
         ]
     }
 

@@ -40,6 +40,7 @@ pub mod memory;
 pub mod obs;
 pub mod plan;
 pub mod recovery;
+pub mod serve;
 pub mod store;
 pub mod taskgraph;
 pub mod trainer;
@@ -51,6 +52,7 @@ pub use feedback::{CostCalibration, DecisionDelta, PeerWaitStats};
 pub use obs::{sim_breakdown, sim_spans, utilization_trace, SimBreakdown};
 pub use hybrid::HybridConfig;
 pub use recovery::{Checkpoint, RecoveryConfig};
+pub use serve::{ServeConfig, ServeDeployment, ServeError, ServeReport};
 pub use store::{CheckpointStore, StoreConfig};
 pub use trainer::{
     EngineKind, EpochStats, ReplanEvent, Trainer, TrainerConfig, TrainingReport,

@@ -1,0 +1,1360 @@
+//! Online inference serving: a sharded, read-only deployment of a
+//! trained checkpoint answering batched k-hop queries.
+//!
+//! Training (the paper's subject) produces a parameter replica; this
+//! module is the deployment half the ROADMAP's north star needs. A
+//! [`ServeDeployment`] spins up one frontend plus `S` shard workers on
+//! the same [`Fabric`] the training engines use. Each query names a seed
+//! vertex; the owning shard computes the seed's exact `L`-hop
+//! in-neighborhood closure (Algorithm 2's dependency retrieval, reused
+//! verbatim via [`khop_in_closure`]) and runs the model forward over the
+//! closure sub-topology, which yields bit-identical logits to a
+//! full-graph [`ns_gnn::inference::infer`] pass for the seed rows: every
+//! row the forward *consumes* has its complete in-neighborhood inside
+//! the closure, and restricted adjacency preserves aggregation order.
+//!
+//! The serving path exercises the same dependency machinery as training:
+//! * features the shard does not own are fetched from the owning peer
+//!   over the fabric (`Query` fetch → layer-0 `Rows` reply) and kept in
+//!   a per-shard LRU [`FeatureCache`] with hit/miss/eviction metering —
+//!   the cached-vs-fetched trade-off of the DepCache/DepComm engines,
+//!   now on the read path;
+//! * a dead peer (fault-plan kill) degrades the fetch into a mirror
+//!   read with a modeled slow-path penalty instead of failing the query;
+//! * the frontend detects a dead shard by reply deadline and reroutes
+//!   its outstanding queries to survivors — shard loss degrades latency,
+//!   never drops queries.
+//!
+//! Admission is a bounded [`SubmitQueue`]: when the deployment is
+//! saturated, [`SubmitQueue::try_push`] rejects with
+//! [`ServeError::Saturated`] instead of blocking the caller — open-loop
+//! load keeps its schedule and overload surfaces as a metered reject
+//! rate, not as coordinated omission.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ns_gnn::{GnnModel, LayerTopology};
+use ns_graph::khop::khop_in_closure;
+use ns_graph::{CsrGraph, Dataset, Partitioner, Partitioning};
+use ns_metrics::{MetricsFrame, MetricsRecorder, RunMetrics};
+use ns_net::fabric::{Endpoint, Fabric, MessageKind, NetError};
+use ns_net::fault::FaultPlan;
+use ns_net::KIND_NAMES;
+use ns_tensor::{ParamStore, Tensor};
+use rustc_hash::FxHashMap;
+
+pub mod load;
+
+use load::OpenLoop;
+
+/// Control-plane scalar telling a shard the run is over.
+const CTRL_SHUTDOWN: f64 = -1.0;
+
+/// Typed serving errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue is full; the query was rejected, not
+    /// queued. Carries the configured capacity for the caller's error
+    /// message.
+    Saturated {
+        /// Queue capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The deployment is shutting down and no longer admits queries.
+    Closed,
+    /// The checkpoint/model/dataset triple is inconsistent (missing or
+    /// shape-mismatched parameters, wrong feature width, bad shard
+    /// count).
+    BadDeployment(String),
+    /// Every shard died before the query stream drained; the zero-drop
+    /// guarantee cannot be met.
+    AllShardsLost {
+        /// Queries still unanswered when the last shard died.
+        unanswered: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Saturated { capacity } => {
+                write!(f, "serve queue saturated (capacity {capacity}); query rejected")
+            }
+            ServeError::Closed => write!(f, "serve deployment closed"),
+            ServeError::BadDeployment(why) => write!(f, "bad deployment: {why}"),
+            ServeError::AllShardsLost { unanswered } => {
+                write!(f, "all shards lost with {unanswered} queries unanswered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving knobs. Defaults suit the bundled datasets; `nts serve`
+/// exposes each as a flag (see `docs/SERVING.md`).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard workers (the frontend is extra). Each shard owns
+    /// one graph partition.
+    pub shards: usize,
+    /// Partitioner assigning vertices to shards.
+    pub partitioner: Partitioner,
+    /// Bounded admission-queue capacity; a full queue rejects.
+    pub queue_capacity: usize,
+    /// Maximum queries per dispatched batch.
+    pub batch_max: usize,
+    /// Adaptive batch window: after the first query of a batch is
+    /// dequeued, the dispatcher keeps accreting queries for at most this
+    /// long before shipping the batch.
+    pub batch_window_us: u64,
+    /// Maximum queries outstanding at the shards. The dispatcher stops
+    /// dequeuing beyond this, so sustained overload backs up into the
+    /// bounded queue and surfaces as rejects.
+    pub inflight_cap: usize,
+    /// Per-shard LRU feature-cache capacity, in rows.
+    pub cache_rows: usize,
+    /// Frontend reply deadline: a shard with a batch older than this is
+    /// declared dead and its outstanding queries are rerouted.
+    pub reply_timeout_ms: u64,
+    /// Shard-to-shard feature-fetch deadline before falling back to the
+    /// replicated feature mirror.
+    pub fetch_timeout_ms: u64,
+    /// Modeled penalty of one mirror (cold-store) read burst, applied as
+    /// real latency on the shard's critical path.
+    pub slow_path_us: u64,
+    /// Deterministic fault plan. `kill:w<id>@e<n>` kills the shard at
+    /// endpoint `<id>` (shards are endpoints `1..=S`) when it receives a
+    /// batch containing a query id `>= n`; wire faults (drop / delay /
+    /// dup / corrupt) apply to serve traffic and heal through the
+    /// fabric's CRC + retransmission machinery.
+    pub fault: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            partitioner: Partitioner::Chunk,
+            queue_capacity: 1024,
+            batch_max: 32,
+            batch_window_us: 400,
+            inflight_cap: 256,
+            cache_rows: 4096,
+            reply_timeout_ms: 250,
+            fetch_timeout_ms: 100,
+            slow_path_us: 300,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// One admitted query ticket.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTicket {
+    /// Dense query id (also the reroute/dedupe key).
+    pub qid: u32,
+    /// Seed vertex whose class is requested.
+    pub seed: u32,
+    /// Open-loop scheduled arrival; latency is measured from here, so a
+    /// backed-up queue *increases* reported latency instead of hiding it
+    /// (no coordinated omission).
+    pub sched: Instant,
+    /// When the ticket entered the queue.
+    pub enqueued: Instant,
+}
+
+/// Outcome of one query.
+#[derive(Debug, Clone, Copy)]
+pub struct Answer {
+    /// Query id.
+    pub qid: u32,
+    /// Seed vertex.
+    pub seed: u32,
+    /// Predicted class.
+    pub class: u32,
+    /// Scheduled-arrival-to-answer latency.
+    pub latency_us: u64,
+}
+
+/// A bounded MPSC admission queue whose producer side *never blocks*: a
+/// full queue rejects with [`ServeError::Saturated`]. The consumer side
+/// (the dispatcher) blocks with a deadline.
+pub struct SubmitQueue<T> {
+    cap: usize,
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+}
+
+struct QueueInner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> SubmitQueue<T> {
+    /// A queue admitting at most `cap` queued items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            inner: Mutex::new(QueueInner { buf: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item`, or rejects immediately — this is the backpressure
+    /// boundary, and it must never block the submitting thread.
+    pub fn try_push(&self, item: T) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(ServeError::Closed);
+        }
+        if inner.buf.len() >= self.cap {
+            return Err(ServeError::Saturated { capacity: self.cap });
+        }
+        inner.buf.push_back(item);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue closed; queued items remain poppable.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Pops one item, waiting until `deadline`. `Ok(None)` means closed
+    /// *and* drained — the consumer can stop.
+    pub fn pop_deadline(&self, deadline: Instant) -> Result<Option<T>, ()> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                return Ok(Some(item));
+            }
+            if inner.closed {
+                return Ok(None);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _) = self.cv.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().buf.pop_front()
+    }
+}
+
+/// Per-shard LRU cache of fetched feature rows, with hit/miss/eviction
+/// meters. Lazy LRU: every touch appends `(vertex, tick)` to a recency
+/// queue; eviction pops stale entries until it finds one whose tick
+/// matches the live map.
+pub struct FeatureCache {
+    cap: usize,
+    map: FxHashMap<u32, (Vec<f32>, u64)>,
+    recency: VecDeque<(u32, u64)>,
+    tick: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Rows evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `cap` rows (0 disables caching).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            map: FxHashMap::default(),
+            recency: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Rows currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `v` up, metering the hit or miss and refreshing recency.
+    pub fn lookup(&mut self, v: u32) -> Option<&[f32]> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&v) {
+            Some((_, t)) => {
+                *t = tick;
+                self.recency.push_back((v, tick));
+                self.hits += 1;
+                Some(&self.map[&v].0)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a fetched row, evicting the least-recently-used row(s) if
+    /// at capacity.
+    pub fn insert(&mut self, v: u32, row: Vec<f32>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&v) {
+            while self.map.len() >= self.cap {
+                match self.recency.pop_front() {
+                    Some((old, t)) => {
+                        let live = self.map.get(&old).is_some_and(|(_, lt)| *lt == t);
+                        if live {
+                            self.map.remove(&old);
+                            self.evictions += 1;
+                        }
+                    }
+                    None => {
+                        // Recency queue exhausted (all entries stale):
+                        // drop an arbitrary row to make progress.
+                        if let Some(&k) = self.map.keys().next() {
+                            self.map.remove(&k);
+                            self.evictions += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        self.recency.push_back((v, self.tick));
+        self.map.insert(v, (row, self.tick));
+    }
+}
+
+/// Full report of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Every answered query (unordered).
+    pub answers: Vec<Answer>,
+    /// Queries rejected at the admission queue.
+    pub rejected: u64,
+    /// Queries the load driver attempted to submit.
+    pub offered: u64,
+    /// Admitted queries that never got an answer. The zero-drop
+    /// guarantee makes this 0 unless every shard died.
+    pub dropped: u64,
+    /// Sorted answer latencies, µs.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_ms: u64,
+    /// Answers per second of wall-clock.
+    pub achieved_qps: f64,
+    /// Shards declared dead by the frontend.
+    pub shard_deaths: u64,
+    /// Queries rerouted off a dead shard.
+    pub reroutes: u64,
+    /// Per-worker metric frames (`serve.*` series, fabric traffic).
+    pub metrics: RunMetrics,
+}
+
+impl ServeReport {
+    /// Nearest-rank percentile over the answer latencies, µs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        load::percentile_us(&self.latencies_us, p)
+    }
+
+    /// Aggregate cache hit ratio across shards (0 when no lookups).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits = self.metrics.total_counter("serve.cache.hits") as f64;
+        let misses = self.metrics.total_counter("serve.cache.misses") as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+}
+
+/// A planned, read-only serving deployment: dataset + model + trained
+/// parameters + partitioning, validated up front.
+pub struct ServeDeployment<'a> {
+    dataset: &'a Dataset,
+    model: &'a GnnModel,
+    params: ParamStore,
+    parts: Partitioning,
+    cfg: ServeConfig,
+}
+
+impl<'a> ServeDeployment<'a> {
+    /// Validates the triple and plans the shard partitioning.
+    pub fn new(
+        dataset: &'a Dataset,
+        model: &'a GnnModel,
+        params: ParamStore,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if cfg.shards == 0 {
+            return Err(ServeError::BadDeployment("need at least one shard".into()));
+        }
+        if model.dims()[0] != dataset.feature_dim() {
+            return Err(ServeError::BadDeployment(format!(
+                "model input width {} != dataset feature width {}",
+                model.dims()[0],
+                dataset.feature_dim()
+            )));
+        }
+        if *model.dims().last().unwrap() != dataset.num_classes {
+            return Err(ServeError::BadDeployment(format!(
+                "model output width {} != dataset classes {}",
+                model.dims().last().unwrap(),
+                dataset.num_classes
+            )));
+        }
+        // The checkpoint must carry exactly the parameters this model
+        // architecture declares, at the same shapes.
+        let reference = model.fresh_store();
+        for (_, name, value) in reference.iter() {
+            match params.find(name) {
+                None => {
+                    return Err(ServeError::BadDeployment(format!(
+                        "checkpoint is missing parameter {name:?}"
+                    )))
+                }
+                Some(id) => {
+                    if params.value(id).shape() != value.shape() {
+                        return Err(ServeError::BadDeployment(format!(
+                            "parameter {name:?} shape {:?} != model shape {:?}",
+                            params.value(id).shape(),
+                            value.shape()
+                        )));
+                    }
+                }
+            }
+        }
+        if params.len() != reference.len() {
+            return Err(ServeError::BadDeployment(format!(
+                "checkpoint carries {} parameters, model declares {}",
+                params.len(),
+                reference.len()
+            )));
+        }
+        let parts = cfg.partitioner.partition(&dataset.graph, cfg.shards);
+        Ok(Self { dataset, model, params, parts, cfg })
+    }
+
+    /// The planned partitioning (shard `s` owns partition `s`, served by
+    /// fabric endpoint `s + 1`).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.parts
+    }
+
+    /// Drives the deployment with a seeded open-loop load: queries
+    /// arrive on an exponential schedule at `load.rate_qps` regardless
+    /// of completion, and a saturated queue rejects.
+    pub fn run_open_loop(&self, load: &OpenLoop) -> Result<ServeReport, ServeError> {
+        let arrivals = load.arrivals();
+        let seeds = load.seeds(self.dataset.graph.num_vertices() as u32);
+        self.run_driver(move |queue, rejected| {
+            let start = Instant::now();
+            for (i, (offset, seed)) in arrivals.iter().zip(seeds.iter()).enumerate() {
+                let sched = start + *offset;
+                let now = Instant::now();
+                if sched > now {
+                    std::thread::sleep(sched - now);
+                }
+                let ticket = QueryTicket {
+                    qid: i as u32,
+                    seed: *seed,
+                    sched,
+                    enqueued: Instant::now(),
+                };
+                if queue.try_push(ticket).is_err() {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            arrivals.len() as u64
+        })
+    }
+
+    /// Answers every seed exactly once (patient submission: retries on
+    /// saturation instead of rejecting). Latency is measured from
+    /// submission. This is the correctness entry point — equivalence
+    /// tests compare its answers against a full-graph inference pass.
+    pub fn answer_all(&self, seeds: &[u32]) -> Result<ServeReport, ServeError> {
+        let seeds = seeds.to_vec();
+        self.run_driver(move |queue, _rejected| {
+            for (i, &seed) in seeds.iter().enumerate() {
+                loop {
+                    let now = Instant::now();
+                    let ticket =
+                        QueryTicket { qid: i as u32, seed, sched: now, enqueued: now };
+                    match queue.try_push(ticket) {
+                        Ok(()) => break,
+                        Err(ServeError::Saturated { .. }) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(_) => return i as u64,
+                    }
+                }
+            }
+            seeds.len() as u64
+        })
+    }
+
+    /// Spins up the fabric, shards, and dispatcher, runs `driver` on its
+    /// own thread, and collects the report.
+    fn run_driver<F>(&self, driver: F) -> Result<ServeReport, ServeError>
+    where
+        F: FnOnce(&SubmitQueue<QueryTicket>, &AtomicU64) -> u64 + Send,
+    {
+        let world = self.cfg.shards + 1;
+        let fabric = Fabric::with_faults(world, self.cfg.fault.clone());
+        let mut endpoints: Vec<Option<Endpoint>> =
+            fabric.into_endpoints().into_iter().map(Some).collect();
+        let frontend_ep = endpoints[0].take().unwrap();
+        let queue = SubmitQueue::new(self.cfg.queue_capacity);
+        let rejected = AtomicU64::new(0);
+        let origin = Instant::now();
+        let started = Instant::now();
+
+        let result = std::thread::scope(|s| {
+            let mut shard_handles = Vec::with_capacity(self.cfg.shards);
+            for (w, slot) in endpoints.iter_mut().enumerate().skip(1) {
+                let ep = slot.take().unwrap();
+                let shard = ShardWorker {
+                    deploy: self,
+                    kill_at: self.cfg.fault.kill_epoch(w).map(|e| e as u32),
+                };
+                shard_handles.push(s.spawn(move || shard.run(ep, origin)));
+            }
+            let driver_handle = s.spawn(|| {
+                let offered = driver(&queue, &rejected);
+                queue.close();
+                offered
+            });
+
+            let front = Frontend {
+                cfg: &self.cfg,
+                parts: &self.parts,
+                queue: &queue,
+                rec: MetricsRecorder::new(0, origin),
+            };
+            let outcome = front.dispatch(&frontend_ep);
+            let offered = driver_handle.join().expect("load driver panicked");
+            let mut frames = Vec::new();
+            for h in shard_handles {
+                frames.push(h.join().expect("shard thread panicked"));
+            }
+            (outcome, offered, frames)
+        });
+        let (outcome, offered, frames) = result;
+
+        let (answers, frontend_frame, deaths, reroutes, lost) = outcome;
+        let mut metrics = RunMetrics::new();
+        metrics.absorb(frontend_frame);
+        for f in frames {
+            metrics.absorb(f);
+        }
+        let rejected = rejected.load(Ordering::Relaxed);
+        if lost > 0 {
+            return Err(ServeError::AllShardsLost { unanswered: lost });
+        }
+        let mut latencies: Vec<u64> = answers.iter().map(|a| a.latency_us).collect();
+        latencies.sort_unstable();
+        let wall_ms = started.elapsed().as_millis().max(1) as u64;
+        let dropped = offered - rejected - answers.len() as u64;
+        Ok(ServeReport {
+            achieved_qps: answers.len() as f64 / (wall_ms as f64 / 1000.0),
+            latencies_us: latencies,
+            answers,
+            rejected,
+            offered,
+            dropped,
+            wall_ms,
+            shard_deaths: deaths,
+            reroutes,
+            metrics,
+        })
+    }
+}
+
+/// Frontend state: admission queue in, batches out, replies and
+/// reroutes back in.
+struct Frontend<'a> {
+    cfg: &'a ServeConfig,
+    parts: &'a Partitioning,
+    queue: &'a SubmitQueue<QueryTicket>,
+    rec: MetricsRecorder,
+}
+
+struct Pending {
+    seed: u32,
+    sched: Instant,
+    shard: usize,
+    sent_at: Instant,
+}
+
+type FrontendOutcome = (Vec<Answer>, MetricsFrame, u64, u64, usize);
+
+impl<'a> Frontend<'a> {
+    /// Event loop: runs until the queue is closed+drained and every
+    /// admitted query is answered (or every shard has died).
+    fn dispatch(&self, ep: &Endpoint) -> FrontendOutcome {
+        let shards = self.cfg.shards;
+        let mut alive = vec![true; shards + 1];
+        let mut pending: FxHashMap<u32, Pending> = FxHashMap::default();
+        let mut answers: Vec<Answer> = Vec::new();
+        let mut deaths = 0u64;
+        let mut reroutes = 0u64;
+        let reply_timeout = Duration::from_millis(self.cfg.reply_timeout_ms);
+        let mut queue_done = false;
+        // Last time each shard was heard from; a shard is only declared
+        // dead when it has an overdue batch AND has gone silent — a busy
+        // shard making progress on other batches is not dead.
+        let mut last_heard = vec![Instant::now(); shards + 1];
+
+        loop {
+            // 1. Drain replies from every live shard.
+            for w in 1..=shards {
+                if !alive[w] {
+                    continue;
+                }
+                while let Some(msg) = ep.try_recv_from(w) {
+                    last_heard[w] = Instant::now();
+                    if let MessageKind::Reply { qids, classes } = msg.kind {
+                        for (qid, class) in qids.into_iter().zip(classes) {
+                            // A reroute may produce two replies for one
+                            // qid; only the first one counts.
+                            if let Some(p) = pending.remove(&qid) {
+                                let latency_us =
+                                    p.sched.elapsed().as_micros().min(u64::MAX as u128)
+                                        as u64;
+                                self.rec.observe("serve.latency_us", latency_us);
+                                self.rec.incr("serve.answers", 1);
+                                answers.push(Answer {
+                                    qid,
+                                    seed: p.seed,
+                                    class,
+                                    latency_us,
+                                });
+                            } else {
+                                self.rec.incr("serve.replies.stale", 1);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Reply-deadline scan: declare shards with overdue
+            //    batches dead and reroute their outstanding queries.
+            let now = Instant::now();
+            let overdue: Vec<usize> = (1..=shards)
+                .filter(|&w| {
+                    alive[w]
+                        && now.duration_since(last_heard[w]) > reply_timeout
+                        && pending
+                            .values()
+                            .any(|p| p.shard == w && now - p.sent_at > reply_timeout)
+                })
+                .collect();
+            for w in overdue {
+                alive[w] = false;
+                deaths += 1;
+                self.rec.incr("serve.deaths", 1);
+            }
+            let orphaned: Vec<u32> = pending
+                .iter()
+                .filter(|(_, p)| !alive[p.shard])
+                .map(|(&qid, _)| qid)
+                .collect();
+            if !orphaned.is_empty() {
+                reroutes += orphaned.len() as u64;
+                self.rec.incr("serve.reroutes", orphaned.len() as u64);
+                let batch: Vec<(u32, u32)> =
+                    orphaned.iter().map(|qid| (*qid, pending[qid].seed)).collect();
+                self.route(ep, &batch, &mut alive, &mut pending, &mut deaths);
+            }
+
+            if !alive[1..=shards].iter().any(|&a| a) {
+                // Nobody left to answer; shut down and report the loss.
+                let lost = pending.len();
+                return (answers, self.finish(ep), deaths, reroutes, lost);
+            }
+
+            // 3. Admit a batch when under the inflight cap.
+            self.rec.observe("serve.queue.depth", self.queue.len() as u64);
+            if pending.len() < self.cfg.inflight_cap {
+                let first = self
+                    .queue
+                    .pop_deadline(Instant::now() + Duration::from_millis(1));
+                match first {
+                    Ok(Some(t0)) => {
+                        let mut batch = vec![t0];
+                        let window_end = Instant::now()
+                            + Duration::from_micros(self.cfg.batch_window_us);
+                        while batch.len() < self.cfg.batch_max
+                            && Instant::now() < window_end
+                        {
+                            match self.queue.try_pop() {
+                                Some(t) => batch.push(t),
+                                None => std::thread::sleep(Duration::from_micros(20)),
+                            }
+                        }
+                        self.rec.incr("serve.queries", batch.len() as u64);
+                        self.rec.incr("serve.batches", 1);
+                        self.rec.observe("serve.batch.size", batch.len() as u64);
+                        let now = Instant::now();
+                        for t in &batch {
+                            self.rec.observe(
+                                "serve.queue.wait_us",
+                                (now - t.enqueued).as_micros() as u64,
+                            );
+                            pending.insert(
+                                t.qid,
+                                Pending {
+                                    seed: t.seed,
+                                    sched: t.sched,
+                                    shard: 0, // assigned by route()
+                                    sent_at: now,
+                                },
+                            );
+                        }
+                        let pairs: Vec<(u32, u32)> =
+                            batch.iter().map(|t| (t.qid, t.seed)).collect();
+                        self.route(ep, &pairs, &mut alive, &mut pending, &mut deaths);
+                    }
+                    Ok(None) => {
+                        // Closed and drained: just await outstanding
+                        // replies without spinning the lock.
+                        queue_done = true;
+                        if !pending.is_empty() {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                    Err(()) => {}
+                }
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+
+            if queue_done && pending.is_empty() {
+                return (answers, self.finish(ep), deaths, reroutes, 0);
+            }
+        }
+    }
+
+    /// Groups `(qid, seed)` pairs by owning shard (falling back to the
+    /// least-loaded survivor when the owner is dead) and ships them.
+    /// Send failures mark the target dead and re-enter routing.
+    fn route(
+        &self,
+        ep: &Endpoint,
+        pairs: &[(u32, u32)],
+        alive: &mut [bool],
+        pending: &mut FxHashMap<u32, Pending>,
+        deaths: &mut u64,
+    ) {
+        let shards = self.cfg.shards;
+        let mut todo: Vec<(u32, u32)> = pairs.to_vec();
+        while !todo.is_empty() {
+            let mut by_shard: FxHashMap<usize, (Vec<u32>, Vec<u32>)> =
+                FxHashMap::default();
+            let mut load_of = vec![0usize; shards + 1];
+            for p in pending.values() {
+                if p.shard > 0 {
+                    load_of[p.shard] += 1;
+                }
+            }
+            for &(qid, seed) in &todo {
+                let owner = self.parts.owner(seed) + 1;
+                let target = if alive[owner] {
+                    owner
+                } else {
+                    match (1..=shards).filter(|&w| alive[w]).min_by_key(|&w| load_of[w])
+                    {
+                        Some(w) => w,
+                        None => return, // caller notices no shard is alive
+                    }
+                };
+                load_of[target] += 1;
+                let entry = by_shard.entry(target).or_default();
+                entry.0.push(qid);
+                entry.1.push(seed);
+            }
+            todo.clear();
+            let now = Instant::now();
+            for (w, (qids, verts)) in by_shard {
+                for qid in &qids {
+                    if let Some(p) = pending.get_mut(qid) {
+                        p.shard = w;
+                        p.sent_at = now;
+                    }
+                }
+                match ep.send(w, MessageKind::Query { qids: qids.clone(), verts }) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        // Shard already gone: mark it and re-route these.
+                        if alive[w] {
+                            alive[w] = false;
+                            *deaths += 1;
+                            self.rec.incr("serve.deaths", 1);
+                        }
+                        self.rec.incr("serve.reroutes", qids.len() as u64);
+                        for qid in qids {
+                            let seed = pending[&qid].seed;
+                            todo.push((qid, seed));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Broadcasts shutdown, folds fabric stats, and closes the frame.
+    fn finish(&self, ep: &Endpoint) -> MetricsFrame {
+        for w in 1..=self.cfg.shards {
+            let _ = ep.send(w, MessageKind::Control(CTRL_SHUTDOWN));
+        }
+        export_net_stats(&self.rec, ep);
+        self.rec.finish()
+    }
+}
+
+/// One shard worker: owns a partition, answers inference batches from
+/// the frontend and layer-0 feature fetches from peers.
+struct ShardWorker<'a, 'b> {
+    deploy: &'a ServeDeployment<'b>,
+    /// Kill-fault trigger: die upon receiving a batch whose max query id
+    /// reaches this threshold.
+    kill_at: Option<u32>,
+}
+
+impl ShardWorker<'_, '_> {
+    fn run(&self, ep: Endpoint, origin: Instant) -> MetricsFrame {
+        let me = ep.id();
+        let rec = MetricsRecorder::new(me, origin);
+        let mut cache = FeatureCache::new(self.deploy.cfg.cache_rows);
+        let mut dead_peers = vec![false; ep.world()];
+        loop {
+            let mut worked = false;
+            // Frontend traffic: inference batches and shutdown.
+            if let Some(msg) = ep.try_recv_from(0) {
+                worked = true;
+                match msg.kind {
+                    MessageKind::Query { qids, verts } => {
+                        if let Some(at) = self.kill_at {
+                            if qids.iter().any(|&q| q >= at) {
+                                // Simulated crash: drop the batch and the
+                                // endpoint; peers see PeerDisconnected.
+                                rec.incr("serve.shard.killed", 1);
+                                export_cache_stats(&rec, &cache);
+                                export_net_stats(&rec, &ep);
+                                return rec.finish();
+                            }
+                        }
+                        let t0 = Instant::now();
+                        let classes = self.answer_batch(
+                            &ep,
+                            &rec,
+                            &mut cache,
+                            &mut dead_peers,
+                            &verts,
+                        );
+                        rec.incr("serve.shard.queries", qids.len() as u64);
+                        rec.incr("serve.shard.batches", 1);
+                        rec.observe(
+                            "serve.shard.latency_us",
+                            t0.elapsed().as_micros() as u64,
+                        );
+                        if ep.send(0, MessageKind::Reply { qids, classes }).is_err() {
+                            break; // frontend gone — run is over
+                        }
+                    }
+                    MessageKind::Control(v) if v == CTRL_SHUTDOWN => break,
+                    _ => {}
+                }
+            }
+            // Peer traffic: feature-fetch requests.
+            for src in 1..ep.world() {
+                if src == me {
+                    continue;
+                }
+                if let Some(msg) = ep.try_recv_from(src) {
+                    worked = true;
+                    if let MessageKind::Query { qids, verts } = msg.kind {
+                        if qids.is_empty() {
+                            self.serve_fetch(&ep, &rec, src, &verts);
+                        }
+                    }
+                }
+            }
+            if !worked {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        export_cache_stats(&rec, &cache);
+        export_net_stats(&rec, &ep);
+        rec.finish()
+    }
+
+    /// Answers a peer's layer-0 feature fetch with a `Rows` reply.
+    fn serve_fetch(&self, ep: &Endpoint, rec: &MetricsRecorder, dst: usize, verts: &[u32]) {
+        let features = &self.deploy.dataset.features;
+        let d = self.deploy.dataset.feature_dim();
+        let mut data = Vec::with_capacity(verts.len() * d);
+        for &v in verts {
+            data.extend_from_slice(features.row(v as usize));
+        }
+        rec.incr("serve.peer.serves", 1);
+        rec.incr("serve.peer.rows_served", verts.len() as u64);
+        // Best-effort: the requester may have fallen back already.
+        let _ = ep.send(
+            dst,
+            MessageKind::Rows { layer: 0, ids: verts.to_vec(), cols: d as u32, data },
+        );
+    }
+
+    /// Computes exact predictions for `seeds` by running the model over
+    /// the seeds' `L`-hop in-closure sub-topology.
+    fn answer_batch(
+        &self,
+        ep: &Endpoint,
+        rec: &MetricsRecorder,
+        cache: &mut FeatureCache,
+        dead_peers: &mut [bool],
+        seeds: &[u32],
+    ) -> Vec<u32> {
+        let model = self.deploy.model;
+        let graph = &self.deploy.dataset.graph;
+        let hops = model.num_layers();
+        let closure = khop_in_closure(graph, seeds, hops);
+        // cum[h] = union of closure layers 0..=h: the vertex set whose
+        // layer-(L-h) representations the forward computes. Cumulative
+        // union (rather than the raw closure layer) guarantees each
+        // destination's own input row is present for self terms.
+        let mut cum: Vec<Vec<u32>> = Vec::with_capacity(hops + 1);
+        cum.push(closure.layers[0].clone());
+        for h in 1..=hops {
+            let mut u = cum[h - 1].clone();
+            u.extend_from_slice(&closure.layers[h]);
+            u.sort_unstable();
+            u.dedup();
+            cum.push(u);
+        }
+        rec.incr("serve.shard.closure_rows", cum[hops].len() as u64);
+
+        let x = self.gather_features(ep, rec, cache, dead_peers, &cum[hops]);
+        let mut h = x;
+        for lz in 0..hops {
+            let src_set = &cum[hops - lz];
+            let dst_set = &cum[hops - 1 - lz];
+            let row_of = |v: u32| -> u32 {
+                src_set.binary_search(&v).expect("closure invariant: source present")
+                    as u32
+            };
+            let lists: Vec<Vec<(u32, f32)>> = dst_set
+                .iter()
+                .map(|&v| {
+                    graph
+                        .in_neighbors(v)
+                        .iter()
+                        .zip(graph.in_weights(v))
+                        .map(|(&u, &w)| (row_of(u), w))
+                        .collect()
+                })
+                .collect();
+            let dst_in_rows: Vec<u32> = dst_set.iter().map(|&v| row_of(v)).collect();
+            let topo = LayerTopology::from_adjacency(src_set.len(), &lists, dst_in_rows);
+            let run = model.layer(lz).forward(&self.deploy.params, &topo, h);
+            h = run.output().clone();
+        }
+        // cum[0] is the sorted, deduped seed set; map each query seed to
+        // its row.
+        let preds = h.argmax_rows();
+        seeds
+            .iter()
+            .map(|s| {
+                let row = cum[0].binary_search(s).expect("seed row present");
+                preds[row] as u32
+            })
+            .collect()
+    }
+
+    /// Builds the `|verts| x d` layer-0 input matrix: owned rows are
+    /// read locally, foreign rows come from the LRU cache, a peer fetch,
+    /// or (when the owner is dead) the replicated feature mirror behind
+    /// a modeled slow-path penalty.
+    fn gather_features(
+        &self,
+        ep: &Endpoint,
+        rec: &MetricsRecorder,
+        cache: &mut FeatureCache,
+        dead_peers: &mut [bool],
+        verts: &[u32],
+    ) -> Tensor {
+        let my_part = ep.id() - 1;
+        let dataset = self.deploy.dataset;
+        let parts = &self.deploy.parts;
+        let d = dataset.feature_dim();
+        let mut data = vec![0f32; verts.len() * d];
+        let mut wants: FxHashMap<usize, Vec<(usize, u32)>> = FxHashMap::default();
+        let mut local = 0u64;
+        for (i, &v) in verts.iter().enumerate() {
+            let owner = parts.owner(v);
+            if owner == my_part {
+                data[i * d..(i + 1) * d].copy_from_slice(dataset.features.row(v as usize));
+                local += 1;
+            } else if let Some(row) = cache.lookup(v) {
+                data[i * d..(i + 1) * d].copy_from_slice(row);
+            } else {
+                wants.entry(owner + 1).or_default().push((i, v));
+            }
+        }
+        rec.incr("serve.rows.local", local);
+
+        for (peer, slots) in wants {
+            let want_ids: Vec<u32> = slots.iter().map(|&(_, v)| v).collect();
+            let fetched = if dead_peers[peer] {
+                None
+            } else {
+                self.fetch_rows(ep, rec, peer, &want_ids)
+            };
+            match fetched {
+                Some(rows) => {
+                    rec.incr("serve.rows.fetched", want_ids.len() as u64);
+                    for ((i, v), row) in slots.into_iter().zip(rows) {
+                        data[i * d..(i + 1) * d].copy_from_slice(&row);
+                        cache.insert(v, row);
+                    }
+                }
+                None => {
+                    // Owner unreachable: read the replicated mirror and
+                    // charge the modeled cold-store penalty as real
+                    // latency on this batch.
+                    dead_peers[peer] = true;
+                    rec.incr("serve.rows.fallback", want_ids.len() as u64);
+                    rec.incr("serve.fallback.bursts", 1);
+                    std::thread::sleep(Duration::from_micros(
+                        self.deploy.cfg.slow_path_us,
+                    ));
+                    for (i, v) in slots {
+                        data[i * d..(i + 1) * d]
+                            .copy_from_slice(dataset.features.row(v as usize));
+                        cache.insert(v, dataset.features.row(v as usize).to_vec());
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(verts.len(), d, data)
+    }
+
+    /// One peer fetch: ships the want-list, then polls for the `Rows`
+    /// reply while *also servicing incoming fetches* — two shards
+    /// fetching from each other must not deadlock. Returns `None` when
+    /// the peer is dead or the deadline passes.
+    fn fetch_rows(
+        &self,
+        ep: &Endpoint,
+        rec: &MetricsRecorder,
+        peer: usize,
+        want: &[u32],
+    ) -> Option<Vec<Vec<f32>>> {
+        rec.incr("serve.fetch.requests", 1);
+        if ep
+            .send(peer, MessageKind::Query { qids: Vec::new(), verts: want.to_vec() })
+            .is_err()
+        {
+            return None;
+        }
+        let deadline =
+            Instant::now() + Duration::from_millis(self.deploy.cfg.fetch_timeout_ms);
+        let d = self.deploy.dataset.feature_dim();
+        loop {
+            if let Some(msg) = ep.try_recv_from(peer) {
+                match msg.kind {
+                    MessageKind::Rows { ids, data, .. } => {
+                        debug_assert_eq!(ids, want);
+                        let rows =
+                            data.chunks(d).map(|c| c.to_vec()).collect::<Vec<_>>();
+                        if rows.len() == want.len() {
+                            return Some(rows);
+                        }
+                        return None;
+                    }
+                    MessageKind::Query { qids, verts } if qids.is_empty() => {
+                        // The peer is fetching from us at the same time.
+                        self.serve_fetch(ep, rec, peer, &verts);
+                    }
+                    _ => {}
+                }
+            }
+            // Service other peers' fetches so a fetch cycle across three
+            // or more shards cannot wedge either.
+            for src in 1..ep.world() {
+                if src == ep.id() || src == peer {
+                    continue;
+                }
+                if let Some(msg) = ep.try_recv_from(src) {
+                    if let MessageKind::Query { qids, verts } = msg.kind {
+                        if qids.is_empty() {
+                            self.serve_fetch(ep, rec, src, &verts);
+                        }
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                rec.incr("serve.fetch.timeouts", 1);
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Copies an endpoint's traffic counters into `net.*` recorder series —
+/// the serving twin of the trainer's exporter (which is private to
+/// `exec`), covering the serve-path message kinds.
+/// Folds the shard's feature-cache meters into its metric frame.
+fn export_cache_stats(rec: &MetricsRecorder, cache: &FeatureCache) {
+    rec.incr("serve.cache.hits", cache.hits);
+    rec.incr("serve.cache.misses", cache.misses);
+    rec.incr("serve.cache.evictions", cache.evictions);
+}
+
+fn export_net_stats(rec: &MetricsRecorder, ep: &Endpoint) {
+    let stats = ep.stats();
+    rec.incr("net.sent.msgs", stats.sent_msgs);
+    rec.incr("net.sent.bytes", stats.sent_bytes);
+    for (k, name) in KIND_NAMES.iter().enumerate() {
+        if stats.sent_msgs_by_kind[k] > 0 {
+            rec.incr(&format!("net.sent.msgs.{name}"), stats.sent_msgs_by_kind[k]);
+            rec.incr(&format!("net.sent.bytes.{name}"), stats.sent_bytes_by_kind[k]);
+        }
+    }
+    if stats.crc_failures > 0 {
+        rec.incr("integrity.crc_fail", stats.crc_failures);
+    }
+    if stats.rereads > 0 {
+        rec.incr("integrity.reread", stats.rereads);
+    }
+    if stats.dups_suppressed > 0 {
+        rec.incr("net.recv.dups_suppressed", stats.dups_suppressed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_gnn::inference::infer;
+    use ns_gnn::{GnnModel, ModelKind};
+    use ns_graph::datasets::by_name;
+
+    #[test]
+    fn submit_queue_rejects_when_full_and_never_blocks() {
+        let q: SubmitQueue<u32> = SubmitQueue::new(3);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        let t0 = Instant::now();
+        let err = q.try_push(99).unwrap_err();
+        assert_eq!(err, ServeError::Saturated { capacity: 3 });
+        // The rejection path must be immediate — this is the guarantee
+        // that a saturated deployment cannot stall the fabric thread.
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "try_push blocked for {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(q.len(), 3);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.try_pop(), Some(0));
+        q.try_push(99).unwrap();
+    }
+
+    #[test]
+    fn submit_queue_close_drains_then_signals_done() {
+        let q: SubmitQueue<u32> = SubmitQueue::new(8);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(ServeError::Closed));
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(q.pop_deadline(deadline), Ok(Some(1)));
+        assert_eq!(q.pop_deadline(deadline), Ok(None));
+    }
+
+    #[test]
+    fn submit_queue_pop_times_out_when_empty_and_open() {
+        let q: SubmitQueue<u32> = SubmitQueue::new(8);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert_eq!(q.pop_deadline(deadline), Err(()));
+    }
+
+    #[test]
+    fn feature_cache_meters_hits_misses_and_evicts_lru() {
+        let mut c = FeatureCache::new(2);
+        assert!(c.lookup(1).is_none());
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        assert_eq!(c.lookup(1).unwrap(), &[1.0]); // 1 is now most recent
+        c.insert(3, vec![3.0]); // evicts 2, the least recent
+        assert!(c.lookup(2).is_none());
+        assert_eq!(c.lookup(1).unwrap(), &[1.0]);
+        assert_eq!(c.lookup(3).unwrap(), &[3.0]);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn feature_cache_zero_capacity_disables_caching() {
+        let mut c = FeatureCache::new(0);
+        c.insert(1, vec![1.0]);
+        assert!(c.lookup(1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    fn cora_deploy() -> (Dataset, GnnModel) {
+        let ds = by_name("cora").unwrap().materialize(0.15, 9);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 4);
+        (ds, model)
+    }
+
+    #[test]
+    fn deployment_rejects_mismatched_params() {
+        let (ds, model) = cora_deploy();
+        let wrong = GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 8, ds.num_classes, 4);
+        let err = ServeDeployment::new(&ds, &model, wrong.fresh_store(), ServeConfig::default())
+            .err()
+            .expect("shape mismatch must be rejected");
+        assert!(matches!(err, ServeError::BadDeployment(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn deployment_rejects_zero_shards() {
+        let (ds, model) = cora_deploy();
+        let cfg = ServeConfig { shards: 0, ..ServeConfig::default() };
+        assert!(ServeDeployment::new(&ds, &model, model.fresh_store(), cfg).is_err());
+    }
+
+    #[test]
+    fn sharded_answers_match_full_graph_inference() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        let reference = infer(&ds, &model, &store);
+        let cfg = ServeConfig { shards: 3, cache_rows: 512, ..ServeConfig::default() };
+        let deploy = ServeDeployment::new(&ds, &model, store, cfg).unwrap();
+        // Seeds spread across all three partitions, with repeats.
+        let n = ds.graph.num_vertices() as u32;
+        let seeds: Vec<u32> = (0..96u32).map(|i| (i * 131) % n).collect();
+        let report = deploy.answer_all(&seeds).unwrap();
+        assert_eq!(report.answers.len(), seeds.len());
+        assert_eq!(report.dropped, 0);
+        for a in &report.answers {
+            assert_eq!(
+                a.class as usize, reference.predictions[a.seed as usize],
+                "query {} seed {} diverged from full-graph inference",
+                a.qid, a.seed
+            );
+        }
+        // The serving path exercised remote rows: either fetched over
+        // the fabric or already cached.
+        let fetched = report.metrics.total_counter("serve.rows.fetched");
+        let local = report.metrics.total_counter("serve.rows.local");
+        assert!(local > 0);
+        assert!(fetched > 0, "3-way sharding must fetch foreign rows");
+        assert_eq!(report.metrics.total_counter("serve.rows.fallback"), 0);
+    }
+
+    #[test]
+    fn open_loop_meters_latency_and_never_loses_queries() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        let deploy =
+            ServeDeployment::new(&ds, &model, store, ServeConfig::default()).unwrap();
+        let load = OpenLoop { queries: 200, rate_qps: 2000.0, seed: 7, zipf_s: 0.9 };
+        let report = deploy.run_open_loop(&load).unwrap();
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.answers.len() as u64 + report.rejected, 200);
+        assert!(report.percentile_us(50.0) > 0);
+        assert!(report.percentile_us(99.9) >= report.percentile_us(50.0));
+        assert!(report.metrics.total_counter("serve.batches") > 0);
+    }
+
+    #[test]
+    fn saturated_deployment_rejects_instead_of_blocking() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        // A tiny queue + tiny inflight cap at a high offered rate must
+        // produce rejects while every admitted query still completes.
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            inflight_cap: 2,
+            batch_max: 2,
+            ..ServeConfig::default()
+        };
+        let deploy = ServeDeployment::new(&ds, &model, store, cfg).unwrap();
+        let load = OpenLoop { queries: 400, rate_qps: 50_000.0, seed: 3, zipf_s: 0.9 };
+        let report = deploy.run_open_loop(&load).unwrap();
+        assert!(report.rejected > 0, "overload must surface as rejects");
+        assert_eq!(report.dropped, 0, "admitted queries must all complete");
+        assert_eq!(report.answers.len() as u64 + report.rejected, 400);
+    }
+
+    #[test]
+    fn killed_shard_degrades_latency_but_drops_nothing() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        let mut fault = FaultPlan::default();
+        // Shard at endpoint 2 dies when it sees query id >= 40.
+        fault.push_spec("kill:w2@e40").unwrap();
+        let cfg = ServeConfig {
+            shards: 2,
+            reply_timeout_ms: 150,
+            fault,
+            ..ServeConfig::default()
+        };
+        let deploy = ServeDeployment::new(&ds, &model, store, cfg).unwrap();
+        let n = ds.graph.num_vertices() as u32;
+        let seeds: Vec<u32> = (0..160u32).map(|i| (i * 137) % n).collect();
+        let report = deploy.answer_all(&seeds).unwrap();
+        assert_eq!(report.dropped, 0, "shard loss must not drop queries");
+        assert_eq!(report.answers.len(), seeds.len());
+        assert_eq!(report.shard_deaths, 1);
+        assert!(report.reroutes > 0, "orphaned queries must be rerouted");
+        // Post-death queries owned by the dead shard still answer, via
+        // the survivor's mirror fallback.
+        assert!(report.metrics.total_counter("serve.rows.fallback") > 0);
+    }
+}
