@@ -17,7 +17,8 @@
 //!  "dataset":"cora","queries_per_rate":10000,
 //!  "runs":[{"rate_qps":500.0,"answered":...,"p50_us":...,"p999_us":...}],
 //!  "saturation_qps":...,
-//!  "fault_run":{"killed_shard":2,"dropped":0,"reroutes":...}}
+//!  "fault_run":{"killed_shard":2,"dropped":0,"reroutes":...},
+//!  "flap_run":{"fault":"flap:w1-w2:400ms:0.5","hedge_wins":...,"dropped":0}}
 //! ```
 //!
 //! `--quick` shrinks query counts and the rate ladder for CI smoke runs.
@@ -56,6 +57,9 @@ fn run_json(rate_qps: f64, r: &ServeReport) -> serde_json::Value {
         "cache_hit_ratio": r.cache_hit_ratio(),
         "shard_deaths": r.shard_deaths,
         "reroutes": r.reroutes,
+        "hedge_issued": r.metrics.total_counter("serve.hedge.issued"),
+        "hedge_wins": r.metrics.total_counter("serve.hedge.wins"),
+        "fetch_fallback_rows": r.metrics.total_counter("serve.rows.fallback"),
     })
 }
 
@@ -173,6 +177,48 @@ fn main() {
         fr.percentile_us(99.0),
     );
 
+    // ---- flapping-link degradation run ---------------------------------
+    // Flap the shard-to-shard feature-fetch link (400ms period, down half
+    // of each period). With the row cache disabled every batch needs a
+    // remote fetch, so the hedged-fetch path is on the hot path: fetches
+    // that land in a down-window hedge to the mirror copy and the mirror
+    // wins. The invariants are zero drops and hedge wins > 0.
+    let mut plan = FaultPlan::default().with_seed(SEED);
+    plan.push_spec("flap:w1-w2:400ms:0.5").expect("fault spec");
+    let mut lcfg = cfg(plan);
+    lcfg.cache_rows = 0;
+    let deploy =
+        ServeDeployment::new(&ds, &model, params.clone(), lcfg).expect("deployment");
+    let load =
+        OpenLoop { queries: fault_queries, rate_qps: 1_000.0, seed: SEED, zipf_s: 0.9 };
+    let lr = deploy.run_open_loop(&load).expect("flap run");
+    let hedge_issued = lr.metrics.total_counter("serve.hedge.issued");
+    let hedge_wins = lr.metrics.total_counter("serve.hedge.wins");
+    let fallback_rows = lr.metrics.total_counter("serve.rows.fallback");
+    assert_eq!(lr.dropped, 0, "flapping link dropped admitted queries");
+    assert!(hedge_wins > 0, "no hedge beat the flapped link");
+    println!(
+        "flap run: w1-w2 flapping 400ms/0.5 | answered {} | hedges {hedge_issued} \
+         issued / {hedge_wins} won | {fallback_rows} mirror rows | dropped {} | p99 {} µs",
+        lr.answers.len(),
+        lr.dropped,
+        lr.percentile_us(99.0),
+    );
+    let flap_run = json!({
+        "fault": "flap:w1-w2:400ms:0.5",
+        "rate_qps": 1_000.0,
+        "queries": fault_queries,
+        "answered": lr.answers.len(),
+        "dropped": lr.dropped,
+        "rejects": lr.rejected,
+        "hedge_issued": hedge_issued,
+        "hedge_wins": hedge_wins,
+        "fetch_fallback_rows": fallback_rows,
+        "p50_us": lr.percentile_us(50.0),
+        "p99_us": lr.percentile_us(99.0),
+        "p999_us": lr.percentile_us(99.9),
+    });
+
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     let fault_run = json!({
@@ -200,6 +246,7 @@ fn main() {
         "runs": runs,
         "saturation_qps": saturation_qps,
         "fault_run": fault_run,
+        "flap_run": flap_run,
     });
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
         .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

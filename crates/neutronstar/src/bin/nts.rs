@@ -75,11 +75,13 @@ fn run_chaos(ca: &ChaosArgs) {
         checkpoint_every: ca.checkpoint_every,
         corrupt: ca.corrupt,
         ckpt_base: Some(ckpt_base.clone()),
+        partition: ca.partition,
         ..ChaosConfig::default()
     };
     println!(
-        "chaos soak: {} schedules from seed {} | {} x{} workers, {} epochs, \
+        "chaos soak ({}): {} schedules from seed {} | {} x{} workers, {} epochs, \
          checkpoint every {}, corrupt <= {:.2}, stores under {}",
+        if cfg.partition { "link-fault matrix" } else { "process-fault matrix" },
         ca.schedules,
         ca.seed,
         cfg.dataset,
@@ -238,10 +240,29 @@ fn run_serve(sa: &ServeArgs) {
         report.percentile_us(99.9),
         report.cache_hit_ratio() * 100.0,
     );
+    if report.rejected > 0 {
+        // Rejections are admission-control back-pressure (bounded queue
+        // full at the offered rate) — expected at saturation. Drops are
+        // admitted queries that were lost, and always a bug.
+        println!(
+            "saturation: {} queries rejected at admission (bounded queue full); \
+             rejects are back-pressure, not loss",
+            report.rejected,
+        );
+    }
     if report.shard_deaths > 0 {
         println!(
             "degraded: {} shard death(s), {} queries rerouted, zero dropped",
             report.shard_deaths, report.reroutes,
+        );
+    }
+    let hedge_issued = report.metrics.total_counter("serve.hedge.issued");
+    let hedge_wins = report.metrics.total_counter("serve.hedge.wins");
+    let fallback_rows = report.metrics.total_counter("serve.rows.fallback");
+    if hedge_issued > 0 || fallback_rows > 0 {
+        println!(
+            "degraded fetch path: {hedge_issued} hedges issued, {hedge_wins} won \
+             (mirror beat the peer), {fallback_rows} rows from mirror fallback",
         );
     }
     if let Some(path) = &sa.metrics_out {
@@ -264,7 +285,8 @@ fn serve_report_json(sa: &ServeArgs, r: &ServeReport) -> String {
          \"rejects\": {},\n      \"dropped\": {},\n      \"achieved_qps\": {:.1},\n      \
          \"p50_us\": {},\n      \"p99_us\": {},\n      \"p999_us\": {},\n      \
          \"cache_hit_ratio\": {:.4},\n      \"shard_deaths\": {},\n      \
-         \"reroutes\": {}\n    }}\n  ]\n}}\n",
+         \"reroutes\": {},\n      \"hedge_issued\": {},\n      \
+         \"hedge_wins\": {},\n      \"fetch_fallback_rows\": {}\n    }}\n  ]\n}}\n",
         sa.rate_qps,
         r.offered,
         r.answers.len(),
@@ -277,6 +299,9 @@ fn serve_report_json(sa: &ServeArgs, r: &ServeReport) -> String {
         r.cache_hit_ratio(),
         r.shard_deaths,
         r.reroutes,
+        r.metrics.total_counter("serve.hedge.issued"),
+        r.metrics.total_counter("serve.hedge.wins"),
+        r.metrics.total_counter("serve.rows.fallback"),
     )
 }
 

@@ -17,7 +17,11 @@
 //! 5. zero silent corruptions: every injected bit-flip on the wire is
 //!    caught by a frame CRC (`integrity.crc_fail`), and every damaged
 //!    checkpoint generation is skipped via the store's fallback chain
-//!    (`ckpt.fallbacks`) rather than loaded.
+//!    (`ckpt.fallbacks`) rather than loaded;
+//! 6. liveness under healable partitions: a run whose link faults all
+//!    heal must terminate with baseline-quality loss and zero circuit
+//!    breakers left open against reachable peers
+//!    (`net.breaker.stuck_open` = 0).
 //!
 //! Schedules are derived from a single `u64` seed via SplitMix64, so a
 //! failing seed reported by CI or `nts chaos` reproduces exactly.
@@ -32,7 +36,8 @@ use ns_net::fault::{Fault, FaultPlan, MsgSel};
 use ns_net::membership::MembershipEventKind;
 use ns_net::ClusterSpec;
 use ns_runtime::{
-    EngineKind, RecoveryConfig, RuntimeError, StoreConfig, Trainer, TrainerConfig, TrainingReport,
+    EngineKind, RecoveryConfig, RecvConfig, RuntimeError, StoreConfig, Trainer, TrainerConfig,
+    TrainingReport,
 };
 
 /// Fixed workload the soak runs: small enough to execute hundreds of
@@ -60,6 +65,10 @@ pub struct ChaosConfig {
     /// keeps checkpoints memory-only, which also disables on-disk
     /// checkpoint-corruption faults (there is nothing to damage).
     pub ckpt_base: Option<PathBuf>,
+    /// Generate link-fault schedules (healable partitions and flapping
+    /// links, no kills) instead of the default crash/noise matrix, and
+    /// check the partition-liveness invariant (6).
+    pub partition: bool,
 }
 
 impl Default for ChaosConfig {
@@ -74,6 +83,7 @@ impl Default for ChaosConfig {
             loss_tolerance: 0.15,
             corrupt: 0.25,
             ckpt_base: None,
+            partition: false,
         }
     }
 }
@@ -125,6 +135,9 @@ impl ChaosSchedule {
                         let _ = write!(s, "corrupt:ckpt:{p:.2}");
                     }
                 },
+                Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. } => {
+                    let _ = write!(s, "{}", f.to_spec());
+                }
             }
         }
         if self.rejoin {
@@ -167,6 +180,9 @@ impl SplitMix64 {
 /// within probabilities the retransmit/dedup machinery absorbs.
 pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     let mut rng = SplitMix64(seed ^ 0x6e74_735f_6368_616f); // "nts_chao"
+    if cfg.partition {
+        return generate_partition(&mut rng, seed, cfg);
+    }
     let mut faults = Vec::new();
     let restart_budget = RecoveryConfig::every(cfg.checkpoint_every).max_restarts as u64;
 
@@ -243,6 +259,58 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     ChaosSchedule { seed, faults, rejoin: rng.unit() < 0.7 }
 }
 
+/// The healable link-fault matrix (`--partition` mode): at most one
+/// severed or half-severed link that always heals at a checkpoint
+/// boundary strictly before the last epoch (so the timed-out side is
+/// re-admitted and its breakers get traffic to close against), an
+/// optional flapping link, and mild latency noise. No kills and rejoin
+/// always on — invariant 6 demands these runs come back on their own.
+fn generate_partition(rng: &mut SplitMix64, seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
+    assert!(cfg.workers >= 2, "link faults need two endpoints");
+    assert!(
+        cfg.epochs > cfg.checkpoint_every + 1,
+        "healable partitions need a boundary to heal at plus a post-heal epoch"
+    );
+    let mut faults = Vec::new();
+    let n = cfg.workers as u64;
+    let mut pair = |rng: &mut SplitMix64| {
+        let a = rng.below(n) as usize;
+        let b = (a + 1 + rng.below(n - 1) as usize) % cfg.workers;
+        (a, b)
+    };
+    // A severed link in two of three seeds; the rest stay flap-only.
+    let kind = rng.below(3);
+    if kind < 2 {
+        let (a, b) = pair(rng);
+        // Start the outage early enough that the next checkpoint
+        // boundary (the heal point) lands at or before epochs-1, so the
+        // final epoch always runs with the link back up.
+        let ck = cfg.checkpoint_every;
+        let last_from = ck * ((cfg.epochs - 1) / ck) - 1;
+        let from_epoch = 1 + rng.below(last_from as u64) as usize;
+        let heal_epoch = ((from_epoch / ck) + 1) * ck;
+        debug_assert!(from_epoch < heal_epoch && heal_epoch < cfg.epochs);
+        if kind == 0 {
+            faults.push(Fault::Partition { a, b, from_epoch, heal_epoch });
+        } else {
+            faults.push(Fault::AsymPartition { src: a, dst: b, from_epoch, heal_epoch });
+        }
+    }
+    // Flapping link: messages inside a down-window are held to the next
+    // up-window, never lost, so flaps need no heal epoch to stay
+    // survivable — the retransmit windows absorb the delay.
+    if kind == 2 || rng.unit() < 0.5 {
+        let (a, b) = pair(rng);
+        let period_ms = 10 + rng.below(41);
+        let duty = 0.1 + rng.unit() * 0.5;
+        faults.push(Fault::Flap { a, b, period_ms, duty });
+    }
+    if rng.unit() < 0.5 {
+        faults.push(Fault::Delay { sel: MsgSel::any(), delay_ms: 1 + rng.below(5) });
+    }
+    ChaosSchedule { seed, faults, rejoin: true }
+}
+
 /// The fault-free reference run the invariants compare against.
 #[derive(Debug, Clone)]
 pub struct Baseline {
@@ -302,6 +370,14 @@ fn train(
 ) -> Result<TrainingReport, RuntimeError> {
     let mut tc = TrainerConfig::new(cfg.engine, ClusterSpec::aliyun_ecs(cfg.workers));
     tc.fault = fault;
+    if cfg.partition {
+        // Black-holed links surface only as receive timeouts; shrink the
+        // retry schedule so each severed op fails over in ~0.5s instead
+        // of the default multi-second budget, keeping 32-seed soaks fast.
+        // The jittered windows still dwarf the generator's flap periods
+        // and delay noise, so healthy links never misfire.
+        tc.recv = RecvConfig { timeout_ms: 150, retries: 2, ..RecvConfig::default() };
+    }
     tc.recovery = if rejoin {
         RecoveryConfig::every(cfg.checkpoint_every).with_rejoin()
     } else {
@@ -475,6 +551,34 @@ fn check_invariants(
         );
     }
 
+    // 6. Liveness under healable partitions: when every scheduled link
+    // fault heals inside the run (flaps always deliver, so they count as
+    // healed by construction), no circuit breaker may finish the run
+    // latched open against a reachable peer. Invariants 1-2 already
+    // force termination at baseline-quality loss; this adds zero breaker
+    // deadlock — a stuck breaker would starve its link forever even
+    // though the network came back.
+    let has_link_faults = schedule.faults.iter().any(|f| {
+        matches!(
+            f,
+            Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. }
+        )
+    });
+    let all_heal = schedule.faults.iter().all(|f| match f {
+        Fault::Partition { heal_epoch, .. } | Fault::AsymPartition { heal_epoch, .. } => {
+            *heal_epoch < cfg.epochs
+        }
+        _ => true,
+    });
+    if has_link_faults && all_heal {
+        let stuck = report.metrics.total_counter("net.breaker.stuck_open");
+        if stuck > 0 {
+            v.push(format!(
+                "{stuck} circuit breaker(s) left open after their links healed"
+            ));
+        }
+    }
+
     v
 }
 
@@ -602,8 +706,53 @@ mod tests {
                     Fault::CorruptCkpt { .. } => {
                         panic!("ckpt corruption requires a durable store (ckpt_base)")
                     }
+                    Fault::Partition { .. }
+                    | Fault::AsymPartition { .. }
+                    | Fault::Flap { .. } => {
+                        panic!("link faults belong to the --partition matrix")
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn partition_matrix_is_healable_by_construction() {
+        let cfg = ChaosConfig { partition: true, ..ChaosConfig::default() };
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            assert!(s.rejoin, "partition schedules must always rejoin");
+            let mut link_faults = 0;
+            for f in &s.faults {
+                match f {
+                    Fault::Partition { a, b, from_epoch, heal_epoch } => {
+                        link_faults += 1;
+                        assert!(*a < cfg.workers && *b < cfg.workers && a != b);
+                        assert!(*from_epoch >= 1 && from_epoch < heal_epoch);
+                        assert_eq!(heal_epoch % cfg.checkpoint_every, 0);
+                        assert!(
+                            *heal_epoch < cfg.epochs,
+                            "link must heal before the final epoch"
+                        );
+                    }
+                    Fault::AsymPartition { src, dst, from_epoch, heal_epoch } => {
+                        link_faults += 1;
+                        assert!(*src < cfg.workers && *dst < cfg.workers && src != dst);
+                        assert!(*from_epoch >= 1 && from_epoch < heal_epoch);
+                        assert_eq!(heal_epoch % cfg.checkpoint_every, 0);
+                        assert!(*heal_epoch < cfg.epochs);
+                    }
+                    Fault::Flap { a, b, period_ms, duty } => {
+                        link_faults += 1;
+                        assert!(*a < cfg.workers && *b < cfg.workers && a != b);
+                        assert!((10..=50).contains(period_ms));
+                        assert!(*duty > 0.0 && *duty < 0.7);
+                    }
+                    Fault::Delay { delay_ms, .. } => assert!(*delay_ms <= 5),
+                    other => panic!("partition matrix generated {other:?}"),
+                }
+            }
+            assert!(link_faults >= 1, "every partition schedule exercises a link");
         }
     }
 

@@ -182,6 +182,10 @@ pub struct ChaosArgs {
     /// lets the runner pick a scratch directory under the system temp
     /// dir (durable-store corruption faults need somewhere to land).
     pub ckpt_dir: Option<String>,
+    /// Generate healable link-fault schedules (partitions,
+    /// half-partitions, flaps) instead of the default process-fault
+    /// matrix, and check the liveness invariant.
+    pub partition: bool,
 }
 
 impl Default for ChaosArgs {
@@ -196,6 +200,7 @@ impl Default for ChaosArgs {
             checkpoint_every: 2,
             corrupt: 0.25,
             ckpt_dir: None,
+            partition: false,
         }
     }
 }
@@ -373,9 +378,24 @@ OPTIONS (train/simulate/probe):
                             corrupt:ckpt:<p>[@e<n>]  flip a bit in the
                                                      durable generation
                                                      saved at boundary n
+                            partition:w<a>-w<b>@e<f>-e<h>
+                                                     sever the link both
+                                                     ways from epoch f,
+                                                     heal at epoch h
+                            partition:w<a>->w<b>@e<f>-e<h>
+                                                     sever one direction
+                                                     only (half-open)
+                            flap:w<a>-w<b>:<ms>:<duty>
+                                                     link cycles with the
+                                                     given period; the
+                                                     first duty fraction
+                                                     of each period holds
+                                                     messages to the next
+                                                     up-window
                           <kind> is rows|grads|allreduce|control|any;
                           drop/delay/dup/corrupt accept @e<n> and
-                          @w<src>-w<dst>
+                          @w<src>-w<dst>; see docs/FAULTS.md for the
+                          full grammar and worked examples
   --checkpoint-every <n>  checkpoint cadence in epochs; 0 disables
                           rollback recovery (default 0)
   --ckpt-dir <path>       persist each checkpoint as a CRC-versioned
@@ -405,6 +425,11 @@ CHAOS OPTIONS (chaos):
                           0 disables corrupt faults (default 0.25)
   --ckpt-dir <path>       base directory for per-seed durable stores
                           (default: scratch under the system temp dir)
+  --partition             generate healable link-fault schedules
+                          (partitions, half-partitions, flaps; no
+                          kills) and check the liveness invariant:
+                          every run must terminate with no circuit
+                          breaker stuck open against a healed link
 
 SERVE OPTIONS (serve):
   --ckpt-dir <path>       durable checkpoint store to serve (required);
@@ -726,6 +751,10 @@ fn parse_chaos(args: &[String]) -> Result<Command, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument {arg:?}"));
         };
+        if key == "partition" {
+            ca.partition = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -939,6 +968,13 @@ mod tests {
         assert_eq!(ca.workers, 4);
         assert_eq!(ca.epochs, 8);
         assert_eq!(ca.checkpoint_every, 3);
+        assert!(!ca.partition);
+        let Command::Chaos(ca) = parse(&args("chaos --partition --schedules 4")).unwrap()
+        else {
+            panic!("expected chaos")
+        };
+        assert!(ca.partition);
+        assert_eq!(ca.schedules, 4);
         assert!(parse(&args("chaos --workers 1")).unwrap_err().contains("workers"));
         assert!(parse(&args("chaos --epochs 2 --checkpoint-every 2"))
             .unwrap_err()

@@ -65,6 +65,9 @@ fn soak_seed_range_exercises_every_fault_kind() {
                 Fault::Delay { .. } => delays += 1,
                 Fault::Duplicate { .. } => dups += 1,
                 Fault::Corrupt { .. } | Fault::CorruptCkpt { .. } => corrupts += 1,
+                Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. } => {
+                    panic!("default matrix must not schedule link faults")
+                }
             }
         }
     }
@@ -75,6 +78,33 @@ fn soak_seed_range_exercises_every_fault_kind() {
     assert!(dups > 0, "no duplicates across the soak range");
     assert!(corrupts > 0, "no corruptions across the soak range");
     assert!(rejoins > 0, "no rejoin schedules across the soak range");
+}
+
+#[test]
+fn partition_soak_32_seeds_upholds_liveness() {
+    // Invariant 6 soak: 32 healable link-fault schedules (partitions,
+    // half-partitions, flaps — no kills) must terminate on their own
+    // with baseline-quality loss and zero circuit breakers left open
+    // against healed links.
+    let cfg = ChaosConfig { partition: true, ..ChaosConfig::default() };
+    let base = shared_baseline();
+    let mut failed = Vec::new();
+    for seed in BASE_SEED..BASE_SEED + SOAK_SEEDS {
+        let schedule = generate(seed, &cfg);
+        let outcome = run_schedule(&cfg, base, &schedule);
+        if !outcome.passed() {
+            failed.push(format!(
+                "seed {seed} [{}]: {:?}",
+                outcome.schedule, outcome.violations
+            ));
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "{} of {SOAK_SEEDS} partition schedules violated invariants:\n{}",
+        failed.len(),
+        failed.join("\n")
+    );
 }
 
 #[test]

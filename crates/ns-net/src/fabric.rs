@@ -16,7 +16,10 @@
 //! [`FaultPlan`](crate::fault::FaultPlan) are applied on the send side:
 //! drops become retransmission delays (`deliver_at` in the future),
 //! duplicates become a second physical delivery that receivers suppress by
-//! sequence number.
+//! sequence number, flapped links hold messages until their next
+//! up-window, and an active partition black-holes the send entirely — the
+//! call still succeeds, so only the receiver's timeout/backoff machinery
+//! can surface the outage, exactly like a real network partition.
 //!
 //! Integrity: every message carries the CRC32 of its compact wire
 //! serialization (see [`wire`](crate::wire)), stamped at send time.
@@ -248,6 +251,9 @@ pub struct NetStats {
     pub sent_bytes_by_peer: Vec<u64>,
     /// Sends the fault plan delayed (the fabric's model of drop+retransmit).
     pub delays_injected: u64,
+    /// Sends black-holed by an active link partition: the send succeeded
+    /// from the caller's point of view but nothing was ever delivered.
+    pub severed_msgs: u64,
     /// Sends the fault plan physically duplicated.
     pub dups_injected: u64,
     /// Received duplicates this endpoint suppressed by sequence number.
@@ -303,6 +309,9 @@ pub struct Endpoint {
     txs: Vec<Sender<Message>>,
     rxs: Vec<Receiver<Message>>,
     faults: Arc<FaultPlan>,
+    // Link-layer clock origin shared by every endpoint of the fabric, so
+    // time-dependent link faults (flaps) evaluate consistently mesh-wide.
+    origin: Instant,
     epoch: Cell<usize>,
     next_seq: RefCell<Vec<u64>>,
     last_seen: RefCell<Vec<u64>>,
@@ -335,9 +344,25 @@ impl Endpoint {
         self.epoch.set(epoch);
     }
 
+    /// The epoch currently stamped onto outgoing messages.
+    pub fn epoch(&self) -> usize {
+        self.epoch.get()
+    }
+
+    /// Milliseconds on the fabric-wide link-layer clock (time since the
+    /// mesh came up). Every endpoint of one fabric reads the same clock;
+    /// it decides where inside a flap period a send lands, and callers
+    /// use it with [`FaultPlan::link_severed`] for breaker heal checks.
+    pub fn link_now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
     /// Sends `kind` to `dst` (self-sends are allowed and loop back).
     /// Returns the metered payload size, or `PeerDisconnected` when `dst`'s
-    /// endpoint has been dropped.
+    /// endpoint has been dropped. A send over a partitioned link still
+    /// returns `Ok` — it is silently black-holed (metered in
+    /// [`NetStats::severed_msgs`]), because a real sender cannot tell a
+    /// severed link from a slow one at the moment of the send.
     pub fn send(&self, dst: usize, kind: MessageKind) -> Result<u64, NetError> {
         let bytes = kind.payload_bytes();
         let kidx = kind.kind_index();
@@ -346,7 +371,14 @@ impl Endpoint {
             seqs[dst] += 1;
             seqs[dst]
         };
-        let fate = self.faults.send_fate(self.epoch.get(), self.me, dst, Some(&kind), seq);
+        let fate = self.faults.send_fate_at(
+            self.epoch.get(),
+            self.me,
+            dst,
+            Some(&kind),
+            seq,
+            self.link_now_ms(),
+        );
         let deliver_at = (fate.delay_ms > 0)
             .then(|| Instant::now() + Duration::from_millis(fate.delay_ms));
         {
@@ -357,15 +389,26 @@ impl Endpoint {
             st.sent_bytes_by_kind[kidx] += bytes;
             st.sent_msgs_by_peer[dst] += 1;
             st.sent_bytes_by_peer[dst] += bytes;
-            if deliver_at.is_some() {
-                st.delays_injected += 1;
+            if fate.severed {
+                st.severed_msgs += 1;
+            } else {
+                if deliver_at.is_some() {
+                    st.delays_injected += 1;
+                }
+                if fate.duplicate {
+                    st.dups_injected += 1;
+                }
+                if fate.corrupt {
+                    st.corrupts_injected += 1;
+                }
             }
-            if fate.duplicate {
-                st.dups_injected += 1;
-            }
-            if fate.corrupt {
-                st.corrupts_injected += 1;
-            }
+        }
+        if fate.severed {
+            // Black hole: the sequence number is consumed (the transport
+            // believes it transmitted), nothing reaches the receiver, and
+            // the caller sees success. Receive timeouts are the only
+            // symptom — the honest partition failure mode.
+            return Ok(bytes);
         }
         let crc = wire::payload_crc(&kind);
         let mut msg = Message { src: self.me, seq, deliver_at, crc, kind };
@@ -555,6 +598,9 @@ impl Fabric {
     pub fn with_faults(workers: usize, faults: FaultPlan) -> Self {
         assert!(workers >= 1, "fabric needs at least one worker");
         let faults = Arc::new(faults);
+        // One clock origin for the whole mesh: flap windows must open and
+        // close at the same wall moments for every endpoint.
+        let origin = Instant::now();
         // channel[src][dst], built dst-major so each src's tx vector is
         // already in dst order (no placeholder/unwrap shuffling needed).
         let mut txs_by_src: Vec<Vec<Sender<Message>>> =
@@ -578,6 +624,7 @@ impl Fabric {
                 txs,
                 rxs,
                 faults: Arc::clone(&faults),
+                origin,
                 epoch: Cell::new(0),
                 next_seq: RefCell::new(vec![0; workers]),
                 last_seen: RefCell::new(vec![0; workers]),
@@ -905,6 +952,70 @@ mod tests {
         assert!(st.crc_failures > 0, "p=0.5 over 20 sends must corrupt something");
         assert_eq!(st.crc_failures, st.rereads, "every rejection was re-read");
         assert_eq!(st.crc_failures, eps[0].stats().corrupts_injected);
+    }
+
+    #[test]
+    fn partitioned_send_succeeds_but_never_arrives() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::Partition { a: 0, b: 1, from_epoch: 0, heal_epoch: 2 });
+        let eps = Fabric::with_faults(3, plan).into_endpoints();
+        // Both directions of the severed link black-hole: the send call
+        // succeeds, the receiver only ever times out.
+        assert!(eps[0].send(1, MessageKind::Control(1.0)).is_ok());
+        assert!(eps[1].send(0, MessageKind::Control(2.0)).is_ok());
+        assert!(matches!(
+            eps[1].recv_from_timeout(0, Duration::from_millis(30)).unwrap_err(),
+            NetError::RecvTimeout { peer: 0, .. }
+        ));
+        assert!(matches!(
+            eps[0].recv_from_timeout(1, Duration::from_millis(30)).unwrap_err(),
+            NetError::RecvTimeout { peer: 1, .. }
+        ));
+        assert_eq!(eps[0].stats().severed_msgs, 1);
+        assert_eq!(eps[1].stats().severed_msgs, 1);
+        // Links not named by the partition are untouched.
+        eps[0].send(2, MessageKind::Control(3.0)).unwrap();
+        assert!(eps[2].try_recv_from(0).is_some());
+        // Past heal_epoch the link carries traffic again.
+        eps[0].set_epoch(2);
+        eps[0].send(1, MessageKind::Control(4.0)).unwrap();
+        let msg = eps[1].recv_from_timeout(0, Duration::from_millis(500)).unwrap();
+        assert!(matches!(msg.kind, MessageKind::Control(v) if v == 4.0));
+    }
+
+    #[test]
+    fn asym_partition_severs_only_the_named_direction() {
+        let plan = FaultPlan::default().with_fault(Fault::AsymPartition {
+            src: 0,
+            dst: 1,
+            from_epoch: 0,
+            heal_epoch: 10,
+        });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        assert!(eps[0].send(1, MessageKind::Control(1.0)).is_ok());
+        assert!(eps[1].try_recv_from(0).is_none(), "0->1 is black-holed");
+        // The reverse direction still delivers.
+        eps[1].send(0, MessageKind::Control(2.0)).unwrap();
+        let msg = eps[0].recv_from_timeout(1, Duration::from_millis(500)).unwrap();
+        assert!(matches!(msg.kind, MessageKind::Control(v) if v == 2.0));
+        assert_eq!(eps[0].stats().severed_msgs, 1);
+        assert_eq!(eps[1].stats().severed_msgs, 0);
+    }
+
+    #[test]
+    fn flapped_link_delays_but_delivers_intact() {
+        // duty 1.0 keeps the link down for (almost) the whole period, so a
+        // send at any instant is held until the next period boundary —
+        // deterministically delayed, never lost.
+        let plan = FaultPlan::default()
+            .with_fault(Fault::Flap { a: 0, b: 1, period_ms: 50, duty: 1.0 });
+        let eps = Fabric::with_faults(2, plan).into_endpoints();
+        eps[0].send(1, MessageKind::Control(8.0)).unwrap();
+        let st = eps[0].stats();
+        assert_eq!(st.severed_msgs, 0, "flap holds, it does not sever");
+        assert_eq!(st.delays_injected, 1);
+        let msg = eps[1].recv_from_timeout(0, Duration::from_millis(1000)).unwrap();
+        assert!(matches!(msg.kind, MessageKind::Control(v) if v == 8.0));
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! A [`FaultPlan`] is a seeded, declarative description of everything that
 //! goes wrong during a run: workers that crash at a given epoch, stragglers
-//! that delay every message they send, and per-message drop / delay /
-//! duplicate faults selected at `(epoch, src, dst)` granularity. The same
+//! that delay every message they send, per-message drop / delay /
+//! duplicate faults selected at `(epoch, src, dst)` granularity, and
+//! link-level faults — epoch-bounded partitions (full or asymmetric) that
+//! black-hole a link, and flaps that oscillate one on a duty cycle. The same
 //! plan drives both the real [`fabric`](crate::fabric) (where a dropped
 //! message becomes a retransmission delay and a duplicate becomes a second
 //! physical delivery) and the [`sim`](crate::sim) event simulator (where
@@ -156,6 +158,53 @@ pub enum Fault {
         /// Per-generation corruption probability in `[0, 1]`.
         p: f64,
     },
+    /// The link between `a` and `b` is severed in *both* directions from
+    /// epoch `from_epoch` (inclusive) until `heal_epoch` (exclusive).
+    /// The fabric black-holes severed sends: the call succeeds (the
+    /// sender cannot tell), the message is never delivered, and only
+    /// receive timeouts, backoff budgets, and circuit breakers surface
+    /// the outage — the honest network-partition failure mode. The
+    /// simulator models severed transfers as retransmission stalls.
+    Partition {
+        /// One end of the link.
+        a: usize,
+        /// The other end.
+        b: usize,
+        /// First epoch with the link down (inclusive).
+        from_epoch: usize,
+        /// Epoch at which the link heals (exclusive).
+        heal_epoch: usize,
+    },
+    /// Like [`Fault::Partition`], but only the `src -> dst` direction is
+    /// severed; replies still flow `dst -> src` — the asymmetric-route
+    /// failure mode that defeats naive "ping works" health checks.
+    AsymPartition {
+        /// Sending side of the severed direction.
+        src: usize,
+        /// Receiving side of the severed direction.
+        dst: usize,
+        /// First epoch with the direction down (inclusive).
+        from_epoch: usize,
+        /// Epoch at which the direction heals (exclusive).
+        heal_epoch: usize,
+    },
+    /// The link between `a` and `b` oscillates: within every
+    /// `period_ms` window it is down for the first `duty` fraction and
+    /// up for the rest. A message sent while the link is down is held
+    /// and delivered at the next up-window (the transport retransmits
+    /// once the link returns), so a flap inflates tail latency — by up
+    /// to `duty * period_ms` per message — without losing messages.
+    /// The simulator charges the expected residual down-time instead.
+    Flap {
+        /// One end of the link.
+        a: usize,
+        /// The other end.
+        b: usize,
+        /// Oscillation period, milliseconds (must be > 0).
+        period_ms: u64,
+        /// Fraction of each period the link is down, in `[0, 1]`.
+        duty: f64,
+    },
 }
 
 impl Fault {
@@ -204,8 +253,32 @@ impl Fault {
                 Some(e) => format!("corrupt:ckpt:{p}@e{e}"),
                 None => format!("corrupt:ckpt:{p}"),
             },
+            Fault::Partition { a, b, from_epoch, heal_epoch } => {
+                format!("partition:w{a}-w{b}@e{from_epoch}-e{heal_epoch}")
+            }
+            Fault::AsymPartition { src, dst, from_epoch, heal_epoch } => {
+                format!("partition:w{src}->w{dst}@e{from_epoch}-e{heal_epoch}")
+            }
+            Fault::Flap { a, b, period_ms, duty } => {
+                format!("flap:w{a}-w{b}:{period_ms}ms:{duty}")
+            }
         }
     }
+}
+
+/// True when a flapping link with the given shape is inside the down
+/// part of its period at `now_ms`.
+fn flap_down(period_ms: u64, duty: f64, now_ms: u64) -> bool {
+    let down_ms = (period_ms as f64 * duty) as u64;
+    now_ms % period_ms.max(1) < down_ms
+}
+
+/// Milliseconds until a flapping link comes back up, if it is down at
+/// `now_ms` (`None` when the link is currently up).
+fn flap_residual(period_ms: u64, duty: f64, now_ms: u64) -> Option<u64> {
+    let down_ms = (period_ms as f64 * duty) as u64;
+    let pos = now_ms % period_ms.max(1);
+    (pos < down_ms).then(|| down_ms - pos)
 }
 
 /// What the fault plan decides for one send.
@@ -218,6 +291,9 @@ pub struct SendFate {
     /// Deliver a bit-flipped copy first; the clean copy follows
     /// [`FaultPlan::retransmit_ms`] later.
     pub corrupt: bool,
+    /// The link is severed: the fabric black-holes the message (the send
+    /// succeeds, nothing is ever delivered).
+    pub severed: bool,
 }
 
 /// A seeded, declarative schedule of injected faults.
@@ -299,6 +375,11 @@ impl FaultPlan {
     ///   in-flight bit flip (detected by frame CRC, then retransmitted),
     /// * `corrupt:ckpt:<p>[@e<n>]` — probabilistic on-disk bit flip of the
     ///   checkpoint generation written at a boundary epoch,
+    /// * `partition:w<a>-w<b>@e<from>-e<heal>` — sever the link both ways
+    ///   for `from <= epoch < heal`,
+    /// * `partition:w<src>->w<dst>@e<from>-e<heal>` — sever one direction,
+    /// * `flap:w<a>-w<b>:<period>ms:<duty>` — oscillate the link: down for
+    ///   the first `duty` fraction of every `period` window,
     ///
     /// where `<kind>` is `rows|grads|allreduce|control|any`.
     pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
@@ -308,7 +389,9 @@ impl FaultPlan {
 
     /// Decides the fate of one send. `kind = None` (the simulator's
     /// untyped transfers) matches every kind filter. Pure in
-    /// `(seed, epoch, src, dst, seq)`.
+    /// `(seed, epoch, src, dst, seq)`. Time-dependent link faults
+    /// ([`Fault::Flap`]) evaluate at `now_ms = 0`; the fabric calls
+    /// [`FaultPlan::send_fate_at`] with its real link-layer clock.
     pub fn send_fate(
         &self,
         epoch: usize,
@@ -316,6 +399,22 @@ impl FaultPlan {
         dst: usize,
         kind: Option<&MessageKind>,
         seq: u64,
+    ) -> SendFate {
+        self.send_fate_at(epoch, src, dst, kind, seq, 0)
+    }
+
+    /// [`FaultPlan::send_fate`] with an explicit link-layer clock:
+    /// `now_ms` is milliseconds since the fabric came up, and decides
+    /// where inside a [`Fault::Flap`] period the send lands. Pure in
+    /// `(seed, epoch, src, dst, seq, now_ms)`.
+    pub fn send_fate_at(
+        &self,
+        epoch: usize,
+        src: usize,
+        dst: usize,
+        kind: Option<&MessageKind>,
+        seq: u64,
+        now_ms: u64,
     ) -> SendFate {
         let mut fate = SendFate::default();
         if self.faults.is_empty() {
@@ -363,9 +462,101 @@ impl FaultPlan {
                     }
                 }
                 Fault::CorruptCkpt { .. } => {}
+                Fault::Partition { a, b, from_epoch, heal_epoch } => {
+                    let on_link = (src == *a && dst == *b) || (src == *b && dst == *a);
+                    if on_link && epoch >= *from_epoch && epoch < *heal_epoch {
+                        if kind.is_some() {
+                            fate.severed = true;
+                        } else {
+                            // The simulator moves untyped bytes: model the
+                            // stalled link as retransmission inflation, the
+                            // same way a drop is charged.
+                            fate.delay_ms += self.retransmit_ms;
+                        }
+                    }
+                }
+                Fault::AsymPartition { src: fs, dst: fd, from_epoch, heal_epoch } => {
+                    if src == *fs
+                        && dst == *fd
+                        && epoch >= *from_epoch
+                        && epoch < *heal_epoch
+                    {
+                        if kind.is_some() {
+                            fate.severed = true;
+                        } else {
+                            fate.delay_ms += self.retransmit_ms;
+                        }
+                    }
+                }
+                Fault::Flap { a, b, period_ms, duty } => {
+                    let on_link = (src == *a && dst == *b) || (src == *b && dst == *a);
+                    if on_link {
+                        if kind.is_some() {
+                            // Hold the message until the link comes back up.
+                            if let Some(wait) = flap_residual(*period_ms, *duty, now_ms) {
+                                fate.delay_ms += wait;
+                            }
+                        } else if self.coin(i, epoch, src, dst, seq) < *duty {
+                            // The simulator has no link-layer clock: a
+                            // `duty` fraction of transfers pay the expected
+                            // residual down-time.
+                            fate.delay_ms += ((*period_ms as f64 * *duty) as u64 + 1) / 2;
+                        }
+                    }
+                }
             }
         }
         fate
+    }
+
+    /// True when the plan severs the `src -> dst` direction at `epoch`
+    /// and link-layer time `now_ms`: an active [`Fault::Partition`] /
+    /// [`Fault::AsymPartition`] window, or a [`Fault::Flap`] inside the
+    /// down part of its period. Circuit-breaker liveness checks use this
+    /// to tell a breaker that is *correctly* open (link still severed)
+    /// from one stuck open after its link healed.
+    pub fn link_severed(&self, epoch: usize, src: usize, dst: usize, now_ms: u64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::Partition { a, b, from_epoch, heal_epoch } => {
+                ((src == *a && dst == *b) || (src == *b && dst == *a))
+                    && epoch >= *from_epoch
+                    && epoch < *heal_epoch
+            }
+            Fault::AsymPartition { src: fs, dst: fd, from_epoch, heal_epoch } => {
+                src == *fs && dst == *fd && epoch >= *from_epoch && epoch < *heal_epoch
+            }
+            Fault::Flap { a, b, period_ms, duty } => {
+                ((src == *a && dst == *b) || (src == *b && dst == *a))
+                    && flap_down(*period_ms, *duty, now_ms)
+            }
+            _ => false,
+        })
+    }
+
+    /// True when the plan contains any link-level fault (partition,
+    /// asymmetric partition, or flap).
+    pub fn has_link_faults(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. }
+            )
+        })
+    }
+
+    /// Removes every link fault (partition, asymmetric partition, flap)
+    /// touching `worker`. The elastic trainer calls this when the member
+    /// leaves the cluster: the modeled replacement host comes up with
+    /// fresh links, and the worker ids in the remaining faults keep
+    /// addressing the renumbered topology.
+    pub fn retire_links(&mut self, worker: usize) {
+        self.faults.retain(|f| match f {
+            Fault::Partition { a, b, .. } | Fault::Flap { a, b, .. } => {
+                *a != worker && *b != worker
+            }
+            Fault::AsymPartition { src, dst, .. } => *src != worker && *dst != worker,
+            _ => true,
+        });
     }
 
     /// Decides whether the checkpoint generation persisted at boundary
@@ -512,8 +703,69 @@ pub fn parse_fault(spec: &str) -> Result<Fault, String> {
                 _ => Fault::Delay { sel, delay_ms: parse_ms(value)? },
             })
         }
+        "partition" => {
+            let (link, epochs) = rest.split_once('@').ok_or_else(|| {
+                format!("partition spec {rest:?}: expected w<a>-w<b>@e<from>-e<heal>")
+            })?;
+            let (from_s, heal_s) = epochs.split_once('-').ok_or_else(|| {
+                format!("partition epochs {epochs:?}: expected e<from>-e<heal>")
+            })?;
+            let (from_epoch, heal_epoch) = (parse_epoch(from_s)?, parse_epoch(heal_s)?);
+            if heal_epoch <= from_epoch {
+                return Err(format!(
+                    "partition window e{from_epoch}-e{heal_epoch}: heal epoch must \
+                     come after the start"
+                ));
+            }
+            if let Some((s, d)) = link.split_once("->") {
+                let (src, dst) = (parse_worker(s)?, parse_worker(d)?);
+                if src == dst {
+                    return Err(format!("partition link {link:?}: endpoints must differ"));
+                }
+                return Ok(Fault::AsymPartition { src, dst, from_epoch, heal_epoch });
+            }
+            let (a_s, b_s) = link
+                .split_once('-')
+                .ok_or_else(|| format!("partition link {link:?}: expected w<a>-w<b>"))?;
+            let (a, b) = (parse_worker(a_s)?, parse_worker(b_s)?);
+            if a == b {
+                return Err(format!("partition link {link:?}: endpoints must differ"));
+            }
+            Ok(Fault::Partition { a, b, from_epoch, heal_epoch })
+        }
+        "flap" => {
+            let mut parts = rest.splitn(3, ':');
+            let link = parts
+                .next()
+                .ok_or_else(|| format!("flap spec {rest:?}: missing link"))?;
+            let period_s = parts.next().ok_or_else(|| {
+                format!("flap spec {rest:?}: expected w<a>-w<b>:<period>ms:<duty>")
+            })?;
+            let duty_s = parts.next().ok_or_else(|| {
+                format!("flap spec {rest:?}: expected w<a>-w<b>:<period>ms:<duty>")
+            })?;
+            let (a_s, b_s) = link
+                .split_once('-')
+                .ok_or_else(|| format!("flap link {link:?}: expected w<a>-w<b>"))?;
+            let (a, b) = (parse_worker(a_s)?, parse_worker(b_s)?);
+            if a == b {
+                return Err(format!("flap link {link:?}: endpoints must differ"));
+            }
+            let period_ms = parse_ms(period_s)?;
+            if period_ms == 0 {
+                return Err(format!("flap period {period_s:?} must be > 0"));
+            }
+            let duty: f64 = duty_s
+                .parse()
+                .map_err(|_| format!("bad flap duty {duty_s:?}"))?;
+            if !(0.0..=1.0).contains(&duty) {
+                return Err(format!("flap duty {duty} outside [0, 1]"));
+            }
+            Ok(Fault::Flap { a, b, period_ms, duty })
+        }
         other => Err(format!(
-            "unknown fault type {other:?} (kill|straggle|drop|delay|dup|corrupt)"
+            "unknown fault type {other:?} \
+             (kill|straggle|drop|delay|dup|corrupt|partition|flap)"
         )),
     }
 }
@@ -722,11 +974,137 @@ mod tests {
             },
             Fault::CorruptCkpt { epoch: Some(4), p: 1.0 },
             Fault::CorruptCkpt { epoch: None, p: 0.5 },
+            Fault::Partition { a: 1, b: 2, from_epoch: 2, heal_epoch: 4 },
+            Fault::AsymPartition { src: 0, dst: 3, from_epoch: 1, heal_epoch: 5 },
+            Fault::Flap { a: 0, b: 1, period_ms: 40, duty: 0.6 },
         ];
         for f in faults {
             let spec = f.to_spec();
             assert_eq!(parse_fault(&spec).unwrap(), f, "round-trip of {spec:?}");
         }
+    }
+
+    #[test]
+    fn parses_partition_and_flap_specs() {
+        assert_eq!(
+            parse_fault("partition:w1-w2@e2-e4").unwrap(),
+            Fault::Partition { a: 1, b: 2, from_epoch: 2, heal_epoch: 4 }
+        );
+        assert_eq!(
+            parse_fault("partition:w0->w2@e1-e3").unwrap(),
+            Fault::AsymPartition { src: 0, dst: 2, from_epoch: 1, heal_epoch: 3 }
+        );
+        assert_eq!(
+            parse_fault("flap:w0-w1:40ms:0.5").unwrap(),
+            Fault::Flap { a: 0, b: 1, period_ms: 40, duty: 0.5 }
+        );
+        assert!(parse_fault("partition:w1-w2").unwrap_err().contains("expected"));
+        assert!(parse_fault("partition:w1-w2@e4-e2").unwrap_err().contains("heal"));
+        assert!(parse_fault("partition:w1-w1@e1-e2").unwrap_err().contains("differ"));
+        assert!(parse_fault("flap:w0-w1:0ms:0.5").unwrap_err().contains("> 0"));
+        assert!(parse_fault("flap:w0-w1:40ms:1.5").unwrap_err().contains("[0, 1]"));
+        assert!(parse_fault("flap:w0:40ms:0.5").unwrap_err().contains("w<a>-w<b>"));
+    }
+
+    #[test]
+    fn partition_severs_both_directions_inside_its_window() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::Partition { a: 1, b: 2, from_epoch: 2, heal_epoch: 4 });
+        let kind = MessageKind::Control(1.0);
+        for epoch in [2, 3] {
+            assert!(plan.send_fate(epoch, 1, 2, Some(&kind), 1).severed);
+            assert!(plan.send_fate(epoch, 2, 1, Some(&kind), 1).severed);
+            assert!(plan.link_severed(epoch, 1, 2, 0));
+        }
+        // Outside the window and off the link: untouched.
+        for epoch in [0, 1, 4, 5] {
+            assert!(!plan.send_fate(epoch, 1, 2, Some(&kind), 1).severed);
+            assert!(!plan.link_severed(epoch, 1, 2, 0));
+        }
+        assert!(!plan.send_fate(3, 0, 2, Some(&kind), 1).severed);
+        // The simulator sees retransmission inflation, not a black hole.
+        let sim = plan.send_fate(3, 1, 2, None, 1);
+        assert!(!sim.severed);
+        assert_eq!(sim.delay_ms, plan.retransmit_ms);
+    }
+
+    #[test]
+    fn asym_partition_severs_one_direction_only() {
+        let plan = FaultPlan::default().with_fault(Fault::AsymPartition {
+            src: 0,
+            dst: 2,
+            from_epoch: 1,
+            heal_epoch: 3,
+        });
+        let kind = MessageKind::Control(1.0);
+        assert!(plan.send_fate(1, 0, 2, Some(&kind), 1).severed);
+        assert!(!plan.send_fate(1, 2, 0, Some(&kind), 1).severed, "reverse flows");
+        assert!(plan.link_severed(2, 0, 2, 0));
+        assert!(!plan.link_severed(2, 2, 0, 0));
+    }
+
+    #[test]
+    fn flap_holds_messages_until_the_next_up_window() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::Flap { a: 0, b: 1, period_ms: 40, duty: 0.5 });
+        let kind = MessageKind::Control(1.0);
+        // Down for the first 20ms of every 40ms window: a send at 5ms is
+        // held 15ms, a send at 25ms goes straight through.
+        let down = plan.send_fate_at(0, 0, 1, Some(&kind), 1, 5);
+        assert!(!down.severed, "flapped messages are delayed, never lost");
+        assert_eq!(down.delay_ms, 15);
+        let up = plan.send_fate_at(0, 1, 0, Some(&kind), 1, 25);
+        assert_eq!(up.delay_ms, 0);
+        // The next period flaps again.
+        assert_eq!(plan.send_fate_at(0, 0, 1, Some(&kind), 1, 41).delay_ms, 19);
+        assert!(plan.link_severed(0, 0, 1, 5));
+        assert!(!plan.link_severed(0, 0, 1, 25));
+        // Off the link: untouched at any time.
+        assert_eq!(plan.send_fate_at(0, 0, 2, Some(&kind), 1, 5).delay_ms, 0);
+    }
+
+    #[test]
+    fn flap_sim_fate_charges_a_duty_fraction_of_transfers() {
+        let plan = FaultPlan::default()
+            .with_seed(5)
+            .with_fault(Fault::Flap { a: 0, b: 1, period_ms: 40, duty: 0.4 });
+        let mut hit = 0;
+        for seq in 1..=4000u64 {
+            let fate = plan.send_fate(0, 0, 1, None, seq);
+            assert_eq!(fate, plan.send_fate(0, 0, 1, None, seq));
+            if fate.delay_ms > 0 {
+                // Expected residual down-time: (40 * 0.4) / 2 = 8ms.
+                assert_eq!(fate.delay_ms, 8);
+                hit += 1;
+            }
+        }
+        let rate = hit as f64 / 4000.0;
+        assert!((rate - 0.4).abs() < 0.05, "flap sim rate {rate}");
+    }
+
+    #[test]
+    fn retire_links_cures_only_the_departed_worker() {
+        let mut plan = FaultPlan::default()
+            .with_fault(Fault::Partition { a: 0, b: 1, from_epoch: 0, heal_epoch: 9 })
+            .with_fault(Fault::Flap { a: 1, b: 2, period_ms: 40, duty: 0.5 })
+            .with_fault(Fault::AsymPartition {
+                src: 0,
+                dst: 2,
+                from_epoch: 0,
+                heal_epoch: 9,
+            })
+            .with_fault(Fault::Straggle { worker: 1, delay_ms: 5 });
+        assert!(plan.has_link_faults());
+        plan.retire_links(1);
+        assert_eq!(plan.faults.len(), 2, "both links touching w1 retire");
+        assert!(plan.link_severed(1, 0, 2, 0), "w0-w2 link fault survives");
+        assert_eq!(
+            plan.send_fate(0, 1, 0, None, 1).delay_ms,
+            5,
+            "non-link faults are untouched"
+        );
+        plan.retire_links(2);
+        assert!(!plan.has_link_faults());
     }
 
     #[test]

@@ -27,12 +27,15 @@
 //!   fabric and the simulator.
 //! * [`membership`] — the coordinator's cluster membership view and the
 //!   worker rejoin handshake used by the elastic trainer.
+//! * [`policy`] — the shared deadline-budget / jittered-backoff /
+//!   circuit-breaker policy every network wait runs under.
 
 pub mod buffer;
 pub mod cluster;
 pub mod fabric;
 pub mod fault;
 pub mod membership;
+pub mod policy;
 pub mod sim;
 pub mod wire;
 
@@ -43,5 +46,6 @@ pub use fault::{Fault, FaultPlan, KindSel, MsgSel, SendFate};
 pub use membership::{
     MemberState, MembershipEvent, MembershipEventKind, MembershipView, RejoinOffer,
 };
+pub use policy::{Backoff, BreakerState, BreakerStats, Budget, CircuitBreaker};
 pub use sim::{SimReport, TaskGraph, TaskId};
 pub use wire::{crc32, FrameError, FRAME_HEADER_BYTES};

@@ -8,7 +8,80 @@
 
 use proptest::prelude::*;
 
+use ns_net::fault::parse_fault;
 use ns_net::{Fabric, Fault, FaultPlan, KindSel, MessageKind, MsgSel};
+
+/// Every message-kind filter the spec grammar can name.
+fn arb_kind() -> impl Strategy<Value = KindSel> {
+    prop_oneof![
+        Just(KindSel::Rows),
+        Just(KindSel::Grads),
+        Just(KindSel::AllReduce),
+        Just(KindSel::Control),
+        Just(KindSel::Query),
+        Just(KindSel::Reply),
+        Just(KindSel::Any),
+    ]
+}
+
+/// Canonical selectors: the spec suffix can only express src and dst
+/// together (`@w<src>-w<dst>`), so generate them paired.
+fn arb_sel() -> impl Strategy<Value = MsgSel> {
+    (
+        arb_kind(),
+        proptest::option::of(0usize..32),
+        proptest::option::of((0usize..16, 0usize..16)),
+    )
+        .prop_map(|(kind, epoch, pair)| MsgSel {
+            kind,
+            epoch,
+            src: pair.map(|(s, _)| s),
+            dst: pair.map(|(_, d)| d),
+        })
+}
+
+/// Every fault variant, constrained to what the parser admits (distinct
+/// link endpoints, heal after start, nonzero flap period, duty and
+/// probabilities inside [0, 1]).
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0usize..16, 0usize..64)
+            .prop_map(|(worker, epoch)| Fault::Kill { worker, epoch }),
+        (0usize..16, 0u64..2_000)
+            .prop_map(|(worker, delay_ms)| Fault::Straggle { worker, delay_ms }),
+        (arb_sel(), 0.0f64..=1.0).prop_map(|(sel, p)| Fault::Drop { sel, p }),
+        (arb_sel(), 0u64..1_000)
+            .prop_map(|(sel, delay_ms)| Fault::Delay { sel, delay_ms }),
+        (arb_sel(), 0.0f64..=1.0).prop_map(|(sel, p)| Fault::Duplicate { sel, p }),
+        (arb_sel(), 0.0f64..=1.0).prop_map(|(sel, p)| Fault::Corrupt { sel, p }),
+        (proptest::option::of(0usize..64), 0.0f64..=1.0)
+            .prop_map(|(epoch, p)| Fault::CorruptCkpt { epoch, p }),
+        (0usize..16, 1usize..16, 0usize..32, 1usize..32).prop_map(
+            |(a, off, from_epoch, span)| Fault::Partition {
+                a,
+                b: (a + off) % 16,
+                from_epoch,
+                heal_epoch: from_epoch + span,
+            }
+        ),
+        (0usize..16, 1usize..16, 0usize..32, 1usize..32).prop_map(
+            |(src, off, from_epoch, span)| Fault::AsymPartition {
+                src,
+                dst: (src + off) % 16,
+                from_epoch,
+                heal_epoch: from_epoch + span,
+            }
+        ),
+        (0usize..16, 1usize..16, 1u64..5_000, 0.0f64..=1.0).prop_map(
+            |(a, off, period_ms, duty)| Fault::Flap {
+                a,
+                b: (a + off) % 16,
+                period_ms,
+                duty,
+            }
+        ),
+    ]
+}
 
 /// A fault plan composing drop + delay + duplicate over every message.
 fn composed_plan(seed: u64, p_drop: f64, delay_ms: u64, p_dup: f64) -> FaultPlan {
@@ -109,5 +182,23 @@ proptest! {
         let injected = tx.stats().dups_injected;
         let suppressed = rx.stats().dups_suppressed;
         prop_assert_eq!(injected, suppressed, "injected dups must all be suppressed");
+    }
+
+    /// Every fault spec round-trips: for an arbitrary parser-admissible
+    /// fault, `to_spec` → `parse_fault` reconstructs the identical fault,
+    /// and a second `to_spec` reproduces the identical spec text. This
+    /// pins the canonical grammar — chaos schedules are logged as spec
+    /// strings, so a lossy corner here silently breaks replayability.
+    #[test]
+    fn fault_specs_round_trip(fault in arb_fault()) {
+        let spec = fault.to_spec();
+        let reparsed = parse_fault(&spec)
+            .map_err(|e| TestCaseError::fail(format!("{spec:?} failed to parse: {e}")))?;
+        prop_assert_eq!(reparsed, fault, "parse(to_spec) lost information: {}", spec);
+        prop_assert_eq!(
+            reparsed.to_spec(),
+            spec,
+            "display is not a fixed point of parse -> display"
+        );
     }
 }

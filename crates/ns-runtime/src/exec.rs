@@ -22,6 +22,7 @@
 //! Deterministic fault injection and checkpoint-resume state ride in
 //! [`RunState`].
 
+use std::cell::{Cell, RefCell};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,7 @@ use ns_gnn::GnnModel;
 use ns_graph::Dataset;
 use ns_metrics::{span, LayerSplit, MetricsFrame, MetricsRecorder, Phase, RunMetrics};
 use ns_net::fault::FaultPlan;
+use ns_net::policy::{Backoff, BreakerState, Budget, CircuitBreaker};
 use ns_net::{
     Endpoint, Fabric, Message, MessageKind, NetError, NetStats, ParallelEnqueue, KIND_NAMES,
 };
@@ -100,17 +102,37 @@ impl Default for ExecConfig {
 /// `timeout_ms`; each of the `retries` further attempts doubles the wait
 /// (bounded exponential backoff), absorbing injected drop/retransmit
 /// delays and real straggler jitter before a peer is declared wedged.
+///
+/// The schedule runs through [`ns_net::policy`]: middle retry windows
+/// carry deterministic seeded jitter (two workers stalled by the same
+/// event retry on *different* schedules instead of in lockstep), the
+/// whole operation is clamped by a [`Budget`] equal to the unjittered
+/// window sum, and every peer sits behind a [`CircuitBreaker`] — after
+/// `breaker_threshold` consecutive failed receive operations the peer
+/// is failed instantly (no window spent) until `breaker_cooldown_ms`
+/// passes and a half-open probe succeeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvConfig {
     /// First receive window, milliseconds.
     pub timeout_ms: u64,
     /// Number of doubled-window retries after the first timeout.
     pub retries: u32,
+    /// Consecutive failed receive *operations* from one peer before its
+    /// circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Milliseconds an open breaker waits before admitting the
+    /// half-open probe.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for RecvConfig {
     fn default() -> Self {
-        Self { timeout_ms: 1_000, retries: 3 }
+        Self {
+            timeout_ms: 1_000,
+            retries: 3,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 250,
+        }
     }
 }
 
@@ -253,10 +275,92 @@ fn export_par_stats(rec: &MetricsRecorder) {
     rec.incr("par.steal_count", ps.stolen);
 }
 
-/// Receives from `src` under the timeout/retry policy: each timeout
-/// doubles the window until the retry budget is spent, then the
-/// accumulated [`NetError::RecvTimeout`] is returned. Blocked time goes
-/// to the `net.recv.wait_ns` histogram and spent retries to the
+/// Per-worker receive context: the configured retry policy plus the
+/// state that must outlive a single receive operation — the per-peer
+/// circuit breakers and the jitter stream.
+///
+/// The jitter seed folds the fault-plan seed with the worker id, so a
+/// rerun of the same seeded scenario replays the exact retry schedule
+/// while different workers (and different seeds) draw different
+/// schedules — the property that breaks lockstep retry storms.
+struct RecvCtx<'a> {
+    rc: &'a RecvConfig,
+    rec: &'a MetricsRecorder,
+    jitter_seed: u64,
+    // Monotone per-receive-op nonce, so two operations against the same
+    // peer draw fresh jittered windows.
+    op_seq: Cell<u64>,
+    breakers: RefCell<Vec<CircuitBreaker>>,
+}
+
+impl<'a> RecvCtx<'a> {
+    fn new(ep: &Endpoint, run: &RunState, rec: &'a MetricsRecorder, rc: &'a RecvConfig) -> Self {
+        let breakers = (0..ep.world())
+            .map(|_| {
+                CircuitBreaker::new(
+                    rc.breaker_threshold,
+                    Duration::from_millis(rc.breaker_cooldown_ms),
+                )
+            })
+            .collect();
+        RecvCtx {
+            rc,
+            rec,
+            jitter_seed: run.fault.seed ^ ((ep.id() as u64) << 48) ^ 0x5eed_ba5e,
+            op_seq: Cell::new(0),
+            breakers: RefCell::new(breakers),
+        }
+    }
+
+    /// Folds the breakers' lifetime counters into the metrics frame and
+    /// flags breakers left Open whose link is *not* severed right now
+    /// (`net.breaker.stuck_open` — the liveness-invariant signal: an
+    /// Open breaker over a healed link means the probe machinery failed).
+    fn export(&self, ep: &Endpoint, fault: &FaultPlan) {
+        let epoch = ep.epoch();
+        let now_ms = ep.link_now_ms();
+        let me = ep.id();
+        let mut opens = 0u64;
+        let mut closes = 0u64;
+        let mut half_opens = 0u64;
+        let mut fast_fails = 0u64;
+        let mut stuck_open = 0u64;
+        for (peer, br) in self.breakers.borrow().iter().enumerate() {
+            let st = br.stats();
+            opens += st.opens;
+            closes += st.closes;
+            half_opens += st.half_opens;
+            fast_fails += st.fast_fails;
+            if br.state() == BreakerState::Open && !fault.link_severed(epoch, me, peer, now_ms)
+            {
+                stuck_open += 1;
+            }
+        }
+        if opens > 0 {
+            self.rec.incr("net.breaker.opens", opens);
+        }
+        if closes > 0 {
+            self.rec.incr("net.breaker.closes", closes);
+        }
+        if half_opens > 0 {
+            self.rec.incr("net.breaker.half_opens", half_opens);
+        }
+        if fast_fails > 0 {
+            self.rec.incr("net.breaker.fast_fails", fast_fails);
+        }
+        if stuck_open > 0 {
+            self.rec.incr("net.breaker.stuck_open", stuck_open);
+        }
+    }
+}
+
+/// Receives from `src` under the timeout/retry policy: a jittered
+/// doubling [`Backoff`] walks the windows, a [`Budget`] equal to the
+/// unjittered window sum caps the whole operation (a retry never waits
+/// past it; hitting the cap is metered `net.deadline.exhausted`), and
+/// the peer's [`CircuitBreaker`] short-circuits the operation entirely
+/// while the peer keeps failing. Blocked time goes to the
+/// `net.recv.wait_ns` histogram and spent retries to the
 /// `net.recv.retries` counter, on every exit path. The wait is
 /// additionally attributed to the sending peer as a per-peer histogram
 /// (`net.recv.wait_ns.peer<k>`) — the signal the measured-cost replanner
@@ -266,41 +370,54 @@ fn export_par_stats(rec: &MetricsRecorder) {
 fn recv_retry(
     ep: &Endpoint,
     src: usize,
-    rc: &RecvConfig,
-    rec: &MetricsRecorder,
+    ctx: &RecvCtx<'_>,
 ) -> std::result::Result<Message, NetError> {
+    if !ctx.breakers.borrow_mut()[src].allow() {
+        // Fail fast: the peer's breaker is Open. No window is spent, so
+        // a run degrading around a dead link stops paying the full
+        // timeout schedule on every operation.
+        return Err(NetError::RecvTimeout { peer: src, waited_ms: 0 });
+    }
+    let op = ctx.op_seq.get();
+    ctx.op_seq.set(op + 1);
+    let key = ((src as u64) << 32) ^ op;
+    let mut bo = Backoff::new(ctx.rc.timeout_ms, ctx.rc.retries, ctx.jitter_seed, key);
+    let budget = Budget::from_ms(bo.nominal_total_ms());
     let t0 = Instant::now();
-    let mut wait = Duration::from_millis(rc.timeout_ms.max(1));
     let mut waited_ms = 0u64;
-    let mut attempt = 0u32;
     let res = loop {
+        let Some(want) = bo.next_wait() else {
+            break Err(NetError::RecvTimeout { peer: src, waited_ms });
+        };
+        let wait = budget.clamp(want);
+        if wait.is_zero() {
+            // Nested retries (e.g. corrupt-frame re-receives) consumed
+            // the operation's whole deadline.
+            ctx.rec.incr("net.deadline.exhausted", 1);
+            break Err(NetError::RecvTimeout { peer: src, waited_ms });
+        }
         match ep.recv_from_timeout(src, wait) {
             Err(NetError::RecvTimeout { .. }) => {
                 waited_ms += wait.as_millis() as u64;
-                if attempt >= rc.retries {
-                    break Err(NetError::RecvTimeout { peer: src, waited_ms });
-                }
-                attempt += 1;
-                wait = wait.saturating_mul(2);
             }
-            Err(e @ NetError::CorruptFrame { .. }) => {
-                // A corrupt frame is retriable: the sender's clean copy of
-                // the same sequence number is already in flight, so spend
-                // one retry waiting for it without widening the window.
-                if attempt >= rc.retries {
-                    break Err(e);
-                }
-                attempt += 1;
+            Err(NetError::CorruptFrame { .. }) => {
+                // Retriable: the sender's clean copy of the same sequence
+                // number is already in flight; spend the next window on it.
             }
             other => break other,
         }
     };
-    if attempt > 0 {
-        rec.incr("net.recv.retries", attempt as u64);
+    let attempts = bo.attempt();
+    if attempts > 1 {
+        ctx.rec.incr("net.recv.retries", (attempts - 1) as u64);
     }
     let waited_ns = t0.elapsed().as_nanos() as u64;
-    rec.observe("net.recv.wait_ns", waited_ns);
-    rec.observe(&format!("net.recv.wait_ns.peer{src}"), waited_ns);
+    ctx.rec.observe("net.recv.wait_ns", waited_ns);
+    ctx.rec.observe(&format!("net.recv.wait_ns.peer{src}"), waited_ns);
+    match &res {
+        Ok(_) => ctx.breakers.borrow_mut()[src].record_success(),
+        Err(_) => ctx.breakers.borrow_mut()[src].record_failure(),
+    }
     res
 }
 
@@ -308,8 +425,7 @@ fn recv_retry(
 /// return identical sums (deterministic chunk-wise accumulation order).
 fn ring_allreduce(
     ep: &Endpoint,
-    rc: &RecvConfig,
-    rec: &MetricsRecorder,
+    ctx: &RecvCtx<'_>,
     grads: &mut [Tensor],
 ) -> std::result::Result<(), NetError> {
     let m = ep.world();
@@ -339,7 +455,7 @@ fn ring_allreduce(
         let send_c = (me + m - s) % m;
         let recv_c = (me + m - s - 1) % m;
         ep.send(right, MessageKind::AllReduce { round: s as u32, data: slice(&flat, send_c) })?;
-        let msg = recv_retry(ep, left, rc, rec)?;
+        let msg = recv_retry(ep, left, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
@@ -357,7 +473,7 @@ fn ring_allreduce(
             right,
             MessageKind::AllReduce { round: (m - 1 + s) as u32, data: slice(&flat, send_c) },
         )?;
-        let msg = recv_retry(ep, left, rc, rec)?;
+        let msg = recv_retry(ep, left, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
@@ -381,8 +497,7 @@ fn ring_allreduce(
 /// identical gradients, exactly as [`ring_allreduce`] produces.
 fn ps_reduce(
     ep: &Endpoint,
-    rc: &RecvConfig,
-    rec: &MetricsRecorder,
+    ctx: &RecvCtx<'_>,
     grads: &mut [Tensor],
 ) -> std::result::Result<(), NetError> {
     let m = ep.world();
@@ -396,7 +511,7 @@ fn ps_reduce(
     }
     if me == 0 {
         for src in 1..m {
-            let msg = recv_retry(ep, src, rc, rec)?;
+            let msg = recv_retry(ep, src, ctx)?;
             let got = msg.kind.name();
             let MessageKind::AllReduce { data, .. } = msg.kind else {
                 return Err(NetError::UnexpectedKind { peer: src, expected: "AllReduce", got });
@@ -410,7 +525,7 @@ fn ps_reduce(
         }
     } else {
         ep.send(0, MessageKind::AllReduce { round: 0, data: flat.clone() })?;
-        let msg = recv_retry(ep, 0, rc, rec)?;
+        let msg = recv_retry(ep, 0, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: 0, expected: "AllReduce", got });
@@ -457,6 +572,9 @@ fn export_net_stats(rec: &MetricsRecorder, stats: &NetStats) {
     if stats.corrupts_injected > 0 {
         rec.incr("net.fault.corrupts", stats.corrupts_injected);
     }
+    if stats.severed_msgs > 0 {
+        rec.incr("net.fault.severed", stats.severed_msgs);
+    }
     if stats.crc_failures > 0 {
         rec.incr("integrity.crc_fail", stats.crc_failures);
     }
@@ -487,7 +605,9 @@ fn worker_loop(
     MetricsFrame,
 ) {
     let rec = MetricsRecorder::new(ep.id(), origin);
-    let res = worker_body(plan, model, dataset, &ep, epochs, cfg, run, &rec, tx);
+    let ctx = RecvCtx::new(&ep, run, &rec, &run.recv);
+    let res = worker_body(plan, model, dataset, &ep, epochs, cfg, run, &ctx, &rec, tx);
+    ctx.export(&ep, &run.fault);
     export_net_stats(&rec, &ep.stats());
     drop(ep);
     (res, rec.finish())
@@ -504,6 +624,7 @@ fn worker_body(
     epochs: usize,
     cfg: &ExecConfig,
     run: &RunState,
+    ctx: &RecvCtx<'_>,
     rec: &MetricsRecorder,
     tx: mpsc::Sender<(usize, usize, WorkerReport)>, // (epoch, worker, report)
 ) -> std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure> {
@@ -604,7 +725,7 @@ fn worker_body(
                     if lp.recv_ids[j].is_empty() {
                         continue;
                     }
-                    let msg = recv_retry(ep, j, &run.recv, rec)
+                    let msg = recv_retry(ep, j, ctx)
                         .map_err(|e| fail(abs_epoch, false, e))?;
                     let got = msg.kind.name();
                     let MessageKind::Rows { layer, ids, cols, data } = msg.kind else {
@@ -706,7 +827,7 @@ fn worker_body(
                 if lp.send_ids[j].is_empty() {
                     continue;
                 }
-                let msg = recv_retry(ep, j, &run.recv, rec)
+                let msg = recv_retry(ep, j, ctx)
                     .map_err(|e| fail(abs_epoch, false, e))?;
                 let got = msg.kind.name();
                 let MessageKind::Grads { layer, ids, cols, data } = msg.kind else {
@@ -733,8 +854,8 @@ fn worker_body(
         {
             let _sync = span!(rec, Phase::SyncWait);
             match cfg.sync {
-                SyncMode::AllReduce => ring_allreduce(ep, &run.recv, rec, &mut grads),
-                SyncMode::ParameterServer => ps_reduce(ep, &run.recv, rec, &mut grads),
+                SyncMode::AllReduce => ring_allreduce(ep, ctx, &mut grads),
+                SyncMode::ParameterServer => ps_reduce(ep, ctx, &mut grads),
             }
             .map_err(|e| fail(abs_epoch, true, e))?;
         }

@@ -19,8 +19,15 @@
 //!   a per-shard LRU [`FeatureCache`] with hit/miss/eviction metering —
 //!   the cached-vs-fetched trade-off of the DepCache/DepComm engines,
 //!   now on the read path;
-//! * a dead peer (fault-plan kill) degrades the fetch into a mirror
-//!   read with a modeled slow-path penalty instead of failing the query;
+//! * an unhealthy peer link degrades the fetch instead of failing the
+//!   query: every peer sits behind a [`CircuitBreaker`] (consecutive
+//!   fetch failures open it, a half-open probe after cooldown closes it
+//!   again when the link heals), an open breaker skips straight to the
+//!   replicated mirror behind a modeled slow-path penalty, and slow
+//!   links are *hedged* — after a p99-derived hedge delay the shard
+//!   starts the mirror read in parallel and takes whichever answer
+//!   lands first (`serve.hedge.{issued,wins}`), bounding tail latency
+//!   under flapping links;
 //! * the frontend detects a dead shard by reply deadline and reroutes
 //!   its outstanding queries to survivors — shard loss degrades latency,
 //!   never drops queries.
@@ -42,6 +49,7 @@ use ns_graph::{CsrGraph, Dataset, Partitioner, Partitioning};
 use ns_metrics::{MetricsFrame, MetricsRecorder, RunMetrics};
 use ns_net::fabric::{Endpoint, Fabric, MessageKind, NetError};
 use ns_net::fault::FaultPlan;
+use ns_net::policy::{BreakerState, Budget, CircuitBreaker};
 use ns_net::KIND_NAMES;
 use ns_tensor::{ParamStore, Tensor};
 use rustc_hash::FxHashMap;
@@ -849,6 +857,97 @@ impl<'a> Frontend<'a> {
     }
 }
 
+/// Per-peer link health a shard carries across fetches: circuit
+/// breakers plus the observed peer-fetch latency distribution the
+/// hedge delay is derived from.
+struct PeerHealth {
+    breakers: Vec<CircuitBreaker>,
+    /// Ring of recent successful peer-fetch latencies, µs.
+    fetch_lat_us: VecDeque<u64>,
+}
+
+/// Latency samples kept for the hedge-delay quantile.
+const HEDGE_SAMPLES: usize = 256;
+/// Samples needed before the p99 estimate replaces the cold-start
+/// hedge delay.
+const HEDGE_MIN_SAMPLES: usize = 16;
+
+impl PeerHealth {
+    fn new(world: usize, cfg: &ServeConfig) -> Self {
+        // Cooldown = one fetch deadline: a flapped link gets re-probed
+        // about once per would-be fetch, so it closes soon after healing.
+        let breakers = (0..world)
+            .map(|_| CircuitBreaker::new(2, Duration::from_millis(cfg.fetch_timeout_ms)))
+            .collect();
+        PeerHealth { breakers, fetch_lat_us: VecDeque::new() }
+    }
+
+    fn observe_fetch(&mut self, lat_us: u64) {
+        if self.fetch_lat_us.len() == HEDGE_SAMPLES {
+            self.fetch_lat_us.pop_front();
+        }
+        self.fetch_lat_us.push_back(lat_us);
+    }
+
+    /// The hedge delay, µs: 8x the observed p99 peer-fetch latency
+    /// (generous headroom so healthy links essentially never lose the
+    /// race), clamped to at most half the fetch deadline. Before enough
+    /// samples exist, half the fetch deadline.
+    fn hedge_delay_us(&self, cfg: &ServeConfig) -> u64 {
+        let half_deadline = cfg.fetch_timeout_ms.saturating_mul(1000) / 2;
+        if self.fetch_lat_us.len() < HEDGE_MIN_SAMPLES {
+            return half_deadline.max(1);
+        }
+        let mut sorted: Vec<u64> = self.fetch_lat_us.iter().copied().collect();
+        sorted.sort_unstable();
+        let p99 = load::percentile_us(&sorted, 99.0);
+        p99.saturating_mul(8).clamp(5_000.min(half_deadline.max(1)), half_deadline.max(1))
+    }
+
+    /// Folds breaker lifetime counters into the shard's frame, flagging
+    /// breakers left Open whose peer is neither killed nor currently
+    /// severed (`net.breaker.stuck_open` — the probe machinery failed).
+    fn export(&self, rec: &MetricsRecorder, ep: &Endpoint) {
+        let fault = ep.faults();
+        let epoch = ep.epoch();
+        let now_ms = ep.link_now_ms();
+        let me = ep.id();
+        let mut stuck = 0u64;
+        let mut opens = 0u64;
+        let mut closes = 0u64;
+        let mut half_opens = 0u64;
+        let mut fast_fails = 0u64;
+        for (peer, br) in self.breakers.iter().enumerate() {
+            let st = br.stats();
+            opens += st.opens;
+            closes += st.closes;
+            half_opens += st.half_opens;
+            fast_fails += st.fast_fails;
+            if br.state() == BreakerState::Open
+                && fault.kill_epoch(peer).is_none()
+                && !fault.link_severed(epoch, me, peer, now_ms)
+            {
+                stuck += 1;
+            }
+        }
+        if opens > 0 {
+            rec.incr("net.breaker.opens", opens);
+        }
+        if closes > 0 {
+            rec.incr("net.breaker.closes", closes);
+        }
+        if half_opens > 0 {
+            rec.incr("net.breaker.half_opens", half_opens);
+        }
+        if fast_fails > 0 {
+            rec.incr("net.breaker.fast_fails", fast_fails);
+        }
+        if stuck > 0 {
+            rec.incr("net.breaker.stuck_open", stuck);
+        }
+    }
+}
+
 /// One shard worker: owns a partition, answers inference batches from
 /// the frontend and layer-0 feature fetches from peers.
 struct ShardWorker<'a, 'b> {
@@ -863,7 +962,7 @@ impl ShardWorker<'_, '_> {
         let me = ep.id();
         let rec = MetricsRecorder::new(me, origin);
         let mut cache = FeatureCache::new(self.deploy.cfg.cache_rows);
-        let mut dead_peers = vec![false; ep.world()];
+        let mut health = PeerHealth::new(ep.world(), &self.deploy.cfg);
         loop {
             let mut worked = false;
             // Frontend traffic: inference batches and shutdown.
@@ -878,6 +977,7 @@ impl ShardWorker<'_, '_> {
                                 rec.incr("serve.shard.killed", 1);
                                 export_cache_stats(&rec, &cache);
                                 export_net_stats(&rec, &ep);
+                                health.export(&rec, &ep);
                                 return rec.finish();
                             }
                         }
@@ -886,7 +986,7 @@ impl ShardWorker<'_, '_> {
                             &ep,
                             &rec,
                             &mut cache,
-                            &mut dead_peers,
+                            &mut health,
                             &verts,
                         );
                         rec.incr("serve.shard.queries", qids.len() as u64);
@@ -923,6 +1023,7 @@ impl ShardWorker<'_, '_> {
         }
         export_cache_stats(&rec, &cache);
         export_net_stats(&rec, &ep);
+        health.export(&rec, &ep);
         rec.finish()
     }
 
@@ -950,7 +1051,7 @@ impl ShardWorker<'_, '_> {
         ep: &Endpoint,
         rec: &MetricsRecorder,
         cache: &mut FeatureCache,
-        dead_peers: &mut [bool],
+        health: &mut PeerHealth,
         seeds: &[u32],
     ) -> Vec<u32> {
         let model = self.deploy.model;
@@ -972,7 +1073,7 @@ impl ShardWorker<'_, '_> {
         }
         rec.incr("serve.shard.closure_rows", cum[hops].len() as u64);
 
-        let x = self.gather_features(ep, rec, cache, dead_peers, &cum[hops]);
+        let x = self.gather_features(ep, rec, cache, health, &cum[hops]);
         let mut h = x;
         for lz in 0..hops {
             let src_set = &cum[hops - lz];
@@ -1010,15 +1111,16 @@ impl ShardWorker<'_, '_> {
     }
 
     /// Builds the `|verts| x d` layer-0 input matrix: owned rows are
-    /// read locally, foreign rows come from the LRU cache, a peer fetch,
-    /// or (when the owner is dead) the replicated feature mirror behind
-    /// a modeled slow-path penalty.
+    /// read locally, foreign rows come from the LRU cache, a hedged
+    /// peer fetch, or (when the peer's circuit breaker is open, the
+    /// mirror wins the hedge race, or the fetch deadline passes) the
+    /// replicated feature mirror behind a modeled slow-path penalty.
     fn gather_features(
         &self,
         ep: &Endpoint,
         rec: &MetricsRecorder,
         cache: &mut FeatureCache,
-        dead_peers: &mut [bool],
+        health: &mut PeerHealth,
         verts: &[u32],
     ) -> Tensor {
         let my_part = ep.id() - 1;
@@ -1043,10 +1145,16 @@ impl ShardWorker<'_, '_> {
 
         for (peer, slots) in wants {
             let want_ids: Vec<u32> = slots.iter().map(|&(_, v)| v).collect();
-            let fetched = if dead_peers[peer] {
-                None
+            let fetched = if health.breakers[peer].allow() {
+                self.fetch_rows_hedged(ep, rec, peer, &want_ids, health)
             } else {
-                self.fetch_rows(ep, rec, peer, &want_ids)
+                // Open breaker: the link is known-bad; go straight to
+                // the mirror without burning a fetch deadline. The
+                // cold-store penalty still applies.
+                std::thread::sleep(Duration::from_micros(
+                    self.deploy.cfg.slow_path_us,
+                ));
+                None
             };
             match fetched {
                 Some(rows) => {
@@ -1057,15 +1165,11 @@ impl ShardWorker<'_, '_> {
                     }
                 }
                 None => {
-                    // Owner unreachable: read the replicated mirror and
-                    // charge the modeled cold-store penalty as real
-                    // latency on this batch.
-                    dead_peers[peer] = true;
+                    // Owner unreachable (or the mirror won the hedge):
+                    // read the replicated mirror. Any cold-store penalty
+                    // was already charged where the fetch gave up.
                     rec.incr("serve.rows.fallback", want_ids.len() as u64);
                     rec.incr("serve.fallback.bursts", 1);
-                    std::thread::sleep(Duration::from_micros(
-                        self.deploy.cfg.slow_path_us,
-                    ));
                     for (i, v) in slots {
                         data[i * d..(i + 1) * d]
                             .copy_from_slice(dataset.features.row(v as usize));
@@ -1077,38 +1181,64 @@ impl ShardWorker<'_, '_> {
         Tensor::from_vec(verts.len(), d, data)
     }
 
-    /// One peer fetch: ships the want-list, then polls for the `Rows`
-    /// reply while *also servicing incoming fetches* — two shards
-    /// fetching from each other must not deadlock. Returns `None` when
-    /// the peer is dead or the deadline passes.
-    fn fetch_rows(
+    /// One hedged peer fetch: ships the want-list, then polls for the
+    /// `Rows` reply while *also servicing incoming fetches* — two
+    /// shards fetching from each other must not deadlock. After a
+    /// p99-derived hedge delay with no reply, a mirror read is started
+    /// in parallel and the first side to finish wins
+    /// (`serve.hedge.{issued,wins}`). Returns `None` when the caller
+    /// should read the mirror: the mirror won the race, the peer is
+    /// unreachable, or the fetch budget ran out.
+    ///
+    /// Breaker bookkeeping: a matching peer reply records a success;
+    /// a hedge loss, deadline, or dead link records a failure — so a
+    /// black-holed link opens the breaker after consecutive misses even
+    /// though every query is still answered from the mirror.
+    fn fetch_rows_hedged(
         &self,
         ep: &Endpoint,
         rec: &MetricsRecorder,
         peer: usize,
         want: &[u32],
+        health: &mut PeerHealth,
     ) -> Option<Vec<Vec<f32>>> {
         rec.incr("serve.fetch.requests", 1);
         if ep
             .send(peer, MessageKind::Query { qids: Vec::new(), verts: want.to_vec() })
             .is_err()
         {
+            health.breakers[peer].record_failure();
+            std::thread::sleep(Duration::from_micros(self.deploy.cfg.slow_path_us));
             return None;
         }
-        let deadline =
-            Instant::now() + Duration::from_millis(self.deploy.cfg.fetch_timeout_ms);
+        let t0 = Instant::now();
+        let budget = Budget::from_ms(self.deploy.cfg.fetch_timeout_ms);
+        let hedge_after = Duration::from_micros(health.hedge_delay_us(&self.deploy.cfg));
+        let mut mirror_ready: Option<Instant> = None;
         let d = self.deploy.dataset.feature_dim();
         loop {
             if let Some(msg) = ep.try_recv_from(peer) {
                 match msg.kind {
-                    MessageKind::Rows { ids, data, .. } => {
-                        debug_assert_eq!(ids, want);
+                    MessageKind::Rows { ids, data, .. } if ids == want => {
                         let rows =
                             data.chunks(d).map(|c| c.to_vec()).collect::<Vec<_>>();
                         if rows.len() == want.len() {
+                            health.breakers[peer].record_success();
+                            health.observe_fetch(t0.elapsed().as_micros() as u64);
                             return Some(rows);
                         }
+                        health.breakers[peer].record_failure();
+                        std::thread::sleep(Duration::from_micros(
+                            self.deploy.cfg.slow_path_us,
+                        ));
                         return None;
+                    }
+                    MessageKind::Rows { .. } => {
+                        // Stale reply to an earlier fetch this shard
+                        // already abandoned — a healed flap can deliver
+                        // it long after the hedge won. Discard and keep
+                        // waiting for the answer to *this* want-list.
+                        rec.incr("serve.fetch.stale", 1);
                     }
                     MessageKind::Query { qids, verts } if qids.is_empty() => {
                         // The peer is fetching from us at the same time.
@@ -1131,8 +1261,25 @@ impl ShardWorker<'_, '_> {
                     }
                 }
             }
-            if Instant::now() >= deadline {
+            if mirror_ready.is_none() && t0.elapsed() >= hedge_after {
+                // Tail-latency hedge: start the mirror read racing the
+                // peer reply instead of waiting out the full deadline.
+                rec.incr("serve.hedge.issued", 1);
+                mirror_ready = Some(
+                    Instant::now()
+                        + Duration::from_micros(self.deploy.cfg.slow_path_us),
+                );
+            }
+            if mirror_ready.is_some_and(|ready| Instant::now() >= ready) {
+                rec.incr("serve.hedge.wins", 1);
+                health.breakers[peer].record_failure();
+                return None;
+            }
+            if budget.exhausted() {
                 rec.incr("serve.fetch.timeouts", 1);
+                rec.incr("net.deadline.exhausted", 1);
+                health.breakers[peer].record_failure();
+                std::thread::sleep(Duration::from_micros(self.deploy.cfg.slow_path_us));
                 return None;
             }
             std::thread::sleep(Duration::from_micros(20));
@@ -1168,6 +1315,9 @@ fn export_net_stats(rec: &MetricsRecorder, ep: &Endpoint) {
     }
     if stats.dups_suppressed > 0 {
         rec.incr("net.recv.dups_suppressed", stats.dups_suppressed);
+    }
+    if stats.severed_msgs > 0 {
+        rec.incr("net.fault.severed", stats.severed_msgs);
     }
 }
 
@@ -1356,5 +1506,80 @@ mod tests {
         // Post-death queries owned by the dead shard still answer, via
         // the survivor's mirror fallback.
         assert!(report.metrics.total_counter("serve.rows.fallback") > 0);
+    }
+
+    #[test]
+    fn flapped_link_hedges_to_mirror_and_drops_nothing() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        let reference = infer(&ds, &model, &store);
+        let mut fault = FaultPlan::default();
+        // The w1-w2 link flaps slowly, starting down: the 200ms down
+        // windows dwarf the 100ms fetch deadline, so fetches caught in
+        // one are answered by the hedged mirror read long before the
+        // held peer reply finally arrives. Cache off so every batch
+        // pays a real fetch.
+        fault.push_spec("flap:w1-w2:400ms:0.5").unwrap();
+        let cfg = ServeConfig { shards: 2, cache_rows: 0, fault, ..ServeConfig::default() };
+        let deploy = ServeDeployment::new(&ds, &model, store, cfg).unwrap();
+        let n = ds.graph.num_vertices() as u32;
+        let seeds: Vec<u32> = (0..160u32).map(|i| (i * 137) % n).collect();
+        let report = deploy.answer_all(&seeds).unwrap();
+        assert_eq!(report.dropped, 0, "flapping link must not drop queries");
+        assert_eq!(report.answers.len(), seeds.len());
+        for a in &report.answers {
+            assert_eq!(
+                a.class as usize, reference.predictions[a.seed as usize],
+                "query {} seed {} diverged under a flapping link",
+                a.qid, a.seed
+            );
+        }
+        assert!(
+            report.metrics.total_counter("serve.hedge.issued") > 0,
+            "down-window fetches must issue hedges"
+        );
+        assert!(
+            report.metrics.total_counter("serve.hedge.wins") > 0,
+            "the mirror must win hedges against a held link"
+        );
+        // Hedge wins are mirror answers: metered as fallback, never lost.
+        assert!(report.metrics.total_counter("serve.rows.fallback") > 0);
+    }
+
+    #[test]
+    fn partitioned_peer_opens_breaker_and_serves_from_mirror() {
+        let (ds, model) = cora_deploy();
+        let store = model.fresh_store();
+        let reference = infer(&ds, &model, &store);
+        let mut fault = FaultPlan::default();
+        // Serving never advances the fabric epoch past 0, so this window
+        // black-holes the w1-w2 link for the entire run.
+        fault.push_spec("partition:w1-w2@e0-e1").unwrap();
+        let cfg = ServeConfig { shards: 2, cache_rows: 0, fault, ..ServeConfig::default() };
+        let deploy = ServeDeployment::new(&ds, &model, store, cfg).unwrap();
+        let n = ds.graph.num_vertices() as u32;
+        let seeds: Vec<u32> = (0..160u32).map(|i| (i * 137) % n).collect();
+        let report = deploy.answer_all(&seeds).unwrap();
+        assert_eq!(report.dropped, 0, "partition must not drop queries");
+        assert_eq!(report.answers.len(), seeds.len());
+        for a in &report.answers {
+            assert_eq!(
+                a.class as usize, reference.predictions[a.seed as usize],
+                "query {} seed {} diverged under a partitioned link",
+                a.qid, a.seed
+            );
+        }
+        // Consecutive black-holed fetches latch the breaker; everything
+        // after comes from the mirror.
+        assert!(report.metrics.total_counter("net.breaker.opens") >= 1);
+        assert!(report.metrics.total_counter("serve.rows.fallback") > 0);
+        assert_eq!(
+            report.metrics.total_counter("serve.rows.fetched"),
+            0,
+            "a severed link cannot complete a peer fetch"
+        );
+        // The breaker is *correctly* open against a still-severed link —
+        // the stuck-open meter must stay silent.
+        assert_eq!(report.metrics.total_counter("net.breaker.stuck_open"), 0);
     }
 }

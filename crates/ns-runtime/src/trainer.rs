@@ -663,6 +663,11 @@ impl<'a> Trainer<'a> {
                             // slot, so the injected straggle fault retires
                             // with the member.
                             fault.retire_straggle(rank);
+                            // Link faults pinned to the evicted slot retire
+                            // with it too: the survivors renumber, so a
+                            // stale partition/flap would sever the wrong
+                            // (healthy) replacement forever.
+                            fault.retire_links(rank);
                             let slot = view.mark_evicted(rank, boundary);
                             coord.incr("membership.evictions", 1);
                             membership_changed = true;
@@ -749,6 +754,11 @@ impl<'a> Trainer<'a> {
                     coord.incr("membership.failures", 1);
                     let slot = view.mark_failed(worker, epoch);
                     fault.retire_kill(worker, epoch);
+                    // A partitioned (not killed) worker surfaces here too —
+                    // its receives time out just like a death. Retiring the
+                    // slot's link faults lets the re-admitted member run on
+                    // the survivors' renumbered links without re-severing.
+                    fault.retire_links(worker);
                     let (new_plans, new_engine, new_decision) =
                         self.replan(engine, view.active_count(), &self.costs, None)?;
                     plans = new_plans;

@@ -83,6 +83,65 @@ fn straggler_shifts_its_dependencies_toward_caching() {
 }
 
 #[test]
+fn flap_partitioned_worker_is_evicted_heals_and_rejoins() {
+    // A worker whose every link is flapping (held, not lost, 90% of each
+    // period) is indistinguishable from a straggler to its peers: all
+    // receivers' waits on it inflate together. The boundary pass must
+    // evict it, which retires its link faults (the modeled replacement
+    // host has fresh links), and rejoin must re-admit it at the next
+    // checkpoint boundary — with no circuit breaker left open anywhere.
+    let _serial = SERIAL.lock().unwrap();
+    let ds = dataset();
+    let m = model(&ds);
+    let mut cfg = TrainerConfig::new(EngineKind::DepComm, ClusterSpec::aliyun_ecs(3));
+    // duty 1.0 = no up-window: every message is held to the next period
+    // boundary (~30ms), the link-level twin of a 30ms straggler. Lower
+    // duties let ping-pong traffic synchronize into the short up-windows
+    // and tunnel through with almost no measured wait.
+    cfg.fault = FaultPlan::default()
+        .with_fault(Fault::Flap { a: 0, b: 1, period_ms: 30, duty: 1.0 })
+        .with_fault(Fault::Flap { a: 1, b: 2, period_ms: 30, duty: 1.0 });
+    cfg.recovery = RecoveryConfig::every(2)
+        .with_rejoin()
+        .with_straggler_eviction(4.0);
+    let report = Trainer::prepare(&ds, &m, cfg).unwrap().train(6).unwrap();
+
+    assert_eq!(report.epochs.len(), 6);
+    assert!(report.final_loss().is_finite());
+    // The flap actually bit (messages were held) ...
+    assert!(
+        report.metrics.total_counter("net.fault.delays") > 0,
+        "flapped links must inject hold delays"
+    );
+    assert!(
+        report.recoveries.is_empty(),
+        "a flapped (not killed) worker must not burn restart budget: {:?}",
+        report.recoveries
+    );
+    let kinds: Vec<_> = report.membership.iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&ns_net::MembershipEventKind::Evicted),
+        "the flapped worker must be evicted as a straggler: {kinds:?}"
+    );
+    assert_eq!(
+        report.membership[0].worker, 1,
+        "the flapped slot is the one evicted"
+    );
+    assert_eq!(
+        kinds.last(),
+        Some(&ns_net::MembershipEventKind::Rejoined),
+        "the evicted member re-admits once its links are retired: {kinds:?}"
+    );
+    // After the heal + rejoin no breaker is left latched open
+    // against a reachable peer.
+    assert_eq!(
+        report.metrics.total_counter("net.breaker.stuck_open"),
+        0,
+        "all circuit breakers must return to Closed after the links heal"
+    );
+}
+
+#[test]
 fn healthy_run_never_replans() {
     let _serial = SERIAL.lock().unwrap();
     let ds = dataset();
