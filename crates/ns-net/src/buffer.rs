@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 pub struct LockFreeChunkBuffer {
     cols: usize,
     slots: usize,
-    data: UnsafeCell<Box<[f32]>>,
+    data: UnsafeCell<Vec<f32>>,
     claimed: Box<[AtomicBool]>,
 }
 
@@ -34,10 +34,23 @@ unsafe impl Sync for LockFreeChunkBuffer {}
 impl LockFreeChunkBuffer {
     /// A buffer with `slots` rows of width `cols`.
     pub fn new(slots: usize, cols: usize) -> Self {
+        Self::with_storage(slots, cols, vec![0.0; slots * cols])
+    }
+
+    /// A buffer backed by caller-provided `storage` (length must be
+    /// `slots * cols`; contents may be stale — every slot is overwritten
+    /// before [`Self::into_rows`] will release the buffer). Lets callers
+    /// recycle message buffers through their own pool instead of
+    /// allocating per send task.
+    ///
+    /// # Panics
+    /// Panics if `storage.len() != slots * cols`.
+    pub fn with_storage(slots: usize, cols: usize, storage: Vec<f32>) -> Self {
+        assert_eq!(storage.len(), slots * cols, "storage length mismatch");
         Self {
             cols,
             slots,
-            data: UnsafeCell::new(vec![0.0; slots * cols].into_boxed_slice()),
+            data: UnsafeCell::new(storage),
             claimed: (0..slots).map(|_| AtomicBool::new(false)).collect(),
         }
     }
@@ -81,7 +94,7 @@ impl LockFreeChunkBuffer {
     /// Panics if any slot was never written (a missing message is a bug).
     pub fn into_rows(self) -> Vec<f32> {
         assert!(self.is_complete(), "buffer finalized with unwritten slots");
-        self.data.into_inner().into_vec()
+        self.data.into_inner()
     }
 }
 
@@ -110,6 +123,20 @@ impl ParallelEnqueue {
     /// Buffers for one send task: `slots_per_dst[d]` rows of width `cols`
     /// will go to destination `d`.
     pub fn new(cols: usize, slots_per_dst: &[usize]) -> Self {
+        Self::new_with(cols, slots_per_dst, |len| vec![0.0; len])
+    }
+
+    /// [`Self::new`] with caller-controlled storage: `alloc(len)` supplies
+    /// each destination's backing buffer (exactly `len` elements, stale
+    /// contents allowed — every slot is written before the buffer leaves
+    /// via [`Self::take`]). This is how the runtime routes the per-epoch
+    /// message staging buffers through its tensor pool instead of the
+    /// system allocator.
+    pub fn new_with(
+        cols: usize,
+        slots_per_dst: &[usize],
+        mut alloc: impl FnMut(usize) -> Vec<f32>,
+    ) -> Self {
         let mut starts = Vec::with_capacity(slots_per_dst.len() + 1);
         starts.push(0usize);
         for &s in slots_per_dst {
@@ -120,7 +147,7 @@ impl ParallelEnqueue {
             starts,
             bufs: slots_per_dst
                 .iter()
-                .map(|&s| LockFreeChunkBuffer::new(s, cols))
+                .map(|&s| LockFreeChunkBuffer::with_storage(s, cols, alloc(s * cols)))
                 .collect(),
         }
     }

@@ -266,6 +266,11 @@ pub struct NetStats {
     /// Clean retransmissions admitted after a CRC rejection of the same
     /// sequence number.
     pub rereads: u64,
+    /// Wire frames encoded by the send path (one per non-severed send).
+    pub encode_frames: u64,
+    /// Total encoded frame bytes (header + payload), written into the
+    /// endpoint's reusable frame buffer.
+    pub encode_bytes: u64,
 }
 
 impl NetStats {
@@ -320,6 +325,11 @@ pub struct Endpoint {
     last_corrupt: RefCell<Vec<u64>>,
     pending: RefCell<Vec<Option<Message>>>,
     stats: RefCell<NetStats>,
+    // Reusable NSF1 frame buffer: every outgoing message is encoded into
+    // this one allocation (header reserved, payload written in place, CRC
+    // patched — see `wire::encode_frame_into`), so the send path stops
+    // allocating once the buffer has grown to the largest frame.
+    frame: RefCell<Vec<u8>>,
 }
 
 impl Endpoint {
@@ -410,7 +420,17 @@ impl Endpoint {
             // symptom — the honest partition failure mode.
             return Ok(bytes);
         }
-        let crc = wire::payload_crc(&kind);
+        // Encode the wire frame into the endpoint's reusable buffer and
+        // stamp the CRC the encoder computed in place — one serialization
+        // pass, zero allocation at steady state.
+        let crc = {
+            let mut frame = self.frame.borrow_mut();
+            wire::encode_frame_into(&kind, &mut frame);
+            let mut st = self.stats.borrow_mut();
+            st.encode_frames += 1;
+            st.encode_bytes += frame.len() as u64;
+            wire::frame_crc(&frame)
+        };
         let mut msg = Message { src: self.me, seq, deliver_at, crc, kind };
         if fate.corrupt {
             // Ship a bit-flipped physical copy now (stamped with the clean
@@ -631,6 +651,7 @@ impl Fabric {
                 last_corrupt: RefCell::new(vec![0; workers]),
                 pending: RefCell::new((0..workers).map(|_| None).collect()),
                 stats: RefCell::new(NetStats::for_world(workers)),
+                frame: RefCell::new(Vec::new()),
             })
             .collect();
         Self { endpoints }

@@ -25,6 +25,7 @@
 //! agreement test in `ns-runtime` pins the two together.
 
 use crate::fabric::MessageKind;
+use std::cell::RefCell;
 
 /// Frame magic: "NSF1" (NeutronStar Frame, version 1).
 pub const FRAME_MAGIC: [u8; 4] = *b"NSF1";
@@ -35,8 +36,14 @@ pub const FRAME_HEADER_BYTES: u64 = 13;
 
 const CRC_POLY: u32 = 0xEDB8_8320;
 
-const fn build_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slice-by-8 lookup tables: `CRC_TABLES[0]` is the classic byte-at-a-time
+/// table; table `i` advances a byte's contribution `i` further positions, so
+/// eight bytes fold into the state with eight independent lookups per
+/// iteration instead of a serial chain of eight table steps. Identical
+/// checksums to the byte-wise algorithm (pinned by the test vectors below) —
+/// this is purely a throughput change for the frame encode path.
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -45,13 +52,23 @@ const fn build_crc_table() -> [u32; 256] {
             c = if c & 1 != 0 { CRC_POLY ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC_TABLE: [u32; 256] = build_crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
 
 /// Streaming CRC32 (IEEE) accumulator, so frame checksums can be computed
 /// over tensor payloads without materializing the serialized bytes.
@@ -74,11 +91,25 @@ impl Crc32 {
         Self { state: 0xFFFF_FFFF }
     }
 
-    /// Folds `bytes` into the checksum.
+    /// Folds `bytes` into the checksum (slice-by-8 main loop, byte-wise
+    /// tail).
     pub fn update(&mut self, bytes: &[u8]) {
         let mut c = self.state;
-        for &b in bytes {
-            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        let mut chunks = bytes.chunks_exact(8);
+        for ch in &mut chunks {
+            let lo = u32::from_le_bytes(ch[0..4].try_into().unwrap()) ^ c;
+            let hi = u32::from_le_bytes(ch[4..8].try_into().unwrap());
+            c = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
         }
         self.state = c;
     }
@@ -161,113 +192,118 @@ fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
     }
 }
 
-/// Serializes the compact payload of `kind` — exactly
-/// [`MessageKind::payload_bytes`] bytes, frame header not included.
-pub fn encode_payload(kind: &MessageKind) -> Vec<u8> {
-    let mut out = Vec::with_capacity(kind.payload_bytes() as usize);
+/// Appends the compact payload of `kind` to `out` without clearing it —
+/// the shared body of [`encode_payload_into`] and [`encode_frame_into`]
+/// (the latter writes the payload straight after the reserved header).
+fn append_payload(kind: &MessageKind, out: &mut Vec<u8>) {
     out.push(kind_tag(kind));
     match kind {
         MessageKind::Rows { layer, ids, cols, data }
         | MessageKind::Grads { layer, ids, cols, data } => {
-            put_u32(&mut out, *layer);
-            put_u32(&mut out, *cols);
-            put_u32(&mut out, ids.len() as u32);
+            put_u32(out, *layer);
+            put_u32(out, *cols);
+            put_u32(out, ids.len() as u32);
             for id in ids {
-                put_u32(&mut out, *id);
+                put_u32(out, *id);
             }
-            put_f32s(&mut out, data);
+            put_f32s(out, data);
         }
         MessageKind::AllReduce { round, data } => {
-            put_u32(&mut out, *round);
-            put_u32(&mut out, data.len() as u32);
-            put_f32s(&mut out, data);
+            put_u32(out, *round);
+            put_u32(out, data.len() as u32);
+            put_f32s(out, data);
         }
         MessageKind::Control(v) => out.extend_from_slice(&v.to_le_bytes()),
         MessageKind::Query { qids, verts } => {
-            put_u32(&mut out, qids.len() as u32);
-            put_u32(&mut out, verts.len() as u32);
+            put_u32(out, qids.len() as u32);
+            put_u32(out, verts.len() as u32);
             for q in qids {
-                put_u32(&mut out, *q);
+                put_u32(out, *q);
             }
             for v in verts {
-                put_u32(&mut out, *v);
+                put_u32(out, *v);
             }
         }
         MessageKind::Reply { qids, classes } => {
-            put_u32(&mut out, qids.len() as u32);
+            put_u32(out, qids.len() as u32);
             for q in qids {
-                put_u32(&mut out, *q);
+                put_u32(out, *q);
             }
             for c in classes {
-                put_u32(&mut out, *c);
+                put_u32(out, *c);
             }
         }
     }
+}
+
+/// Serializes the compact payload of `kind` into `out` — exactly
+/// [`MessageKind::payload_bytes`] bytes, frame header not included. `out`
+/// is cleared first; its capacity is reused, so steady-state callers that
+/// recycle one buffer never allocate.
+pub fn encode_payload_into(kind: &MessageKind, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(kind.payload_bytes() as usize);
+    append_payload(kind, out);
+}
+
+/// Serializes the compact payload of `kind` into a fresh buffer.
+pub fn encode_payload(kind: &MessageKind) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_payload_into(kind, &mut out);
     out
 }
 
-/// CRC32 of the compact payload of `kind`, computed by streaming over the
-/// logical fields without allocating the serialized bytes. Equal to
-/// `crc32(&encode_payload(kind))` — the fabric stamps this onto every
-/// outgoing frame and receivers recompute it for verification.
-pub fn payload_crc(kind: &MessageKind) -> u32 {
-    let mut acc = Crc32::new();
-    acc.update(&[kind_tag(kind)]);
-    match kind {
-        MessageKind::Rows { layer, ids, cols, data }
-        | MessageKind::Grads { layer, ids, cols, data } => {
-            acc.update(&layer.to_le_bytes());
-            acc.update(&cols.to_le_bytes());
-            acc.update(&(ids.len() as u32).to_le_bytes());
-            for id in ids {
-                acc.update(&id.to_le_bytes());
-            }
-            for v in data {
-                acc.update(&v.to_le_bytes());
-            }
-        }
-        MessageKind::AllReduce { round, data } => {
-            acc.update(&round.to_le_bytes());
-            acc.update(&(data.len() as u32).to_le_bytes());
-            for v in data {
-                acc.update(&v.to_le_bytes());
-            }
-        }
-        MessageKind::Control(v) => acc.update(&v.to_le_bytes()),
-        MessageKind::Query { qids, verts } => {
-            acc.update(&(qids.len() as u32).to_le_bytes());
-            acc.update(&(verts.len() as u32).to_le_bytes());
-            for q in qids {
-                acc.update(&q.to_le_bytes());
-            }
-            for v in verts {
-                acc.update(&v.to_le_bytes());
-            }
-        }
-        MessageKind::Reply { qids, classes } => {
-            acc.update(&(qids.len() as u32).to_le_bytes());
-            for q in qids {
-                acc.update(&q.to_le_bytes());
-            }
-            for c in classes {
-                acc.update(&c.to_le_bytes());
-            }
-        }
-    }
-    acc.finish()
+thread_local! {
+    // Reusable serialization scratch for `payload_crc`: one buffer per
+    // worker thread, grown once to the largest payload and reused forever
+    // after — the receive-side CRC check allocates nothing at steady state.
+    static CRC_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Serializes a full frame: header (magic, kind, length, CRC32) followed by
-/// the compact payload.
-pub fn encode_frame(kind: &MessageKind) -> Vec<u8> {
-    let payload = encode_payload(kind);
-    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
+/// CRC32 of the compact payload of `kind`. Equal to
+/// `crc32(&encode_payload(kind))` — the fabric stamps this onto every
+/// outgoing frame and receivers recompute it for verification. Serializes
+/// into a thread-local reusable scratch buffer so the slice-by-8 CRC loop
+/// runs over contiguous bytes (several times faster than streaming the
+/// logical fields one `to_le_bytes` array at a time).
+pub fn payload_crc(kind: &MessageKind) -> u32 {
+    CRC_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        encode_payload_into(kind, &mut buf);
+        crc32(&buf)
+    })
+}
+
+/// Serializes a full frame into `out`: header (magic, kind, length, CRC32)
+/// followed by the compact payload — written in one pass. `out` is cleared
+/// and reused: the header is reserved up front, the payload is encoded
+/// straight into the frame buffer (no intermediate payload `Vec`), and the
+/// length and CRC are patched into the reserved bytes afterwards.
+pub fn encode_frame_into(kind: &MessageKind, out: &mut Vec<u8>) {
+    let header_len = FRAME_HEADER_BYTES as usize;
+    out.clear();
+    out.reserve(header_len + kind.payload_bytes() as usize);
     out.extend_from_slice(&FRAME_MAGIC);
     out.push(kind_tag(kind));
-    put_u32(&mut out, payload.len() as u32);
-    put_u32(&mut out, crc32(&payload));
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&[0u8; 8]); // length + CRC, patched below
+    append_payload(kind, out);
+    let payload_len = (out.len() - header_len) as u32;
+    let crc = crc32(&out[header_len..]);
+    out[5..9].copy_from_slice(&payload_len.to_le_bytes());
+    out[9..13].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Serializes a full frame into a fresh buffer (see [`encode_frame_into`]).
+pub fn encode_frame(kind: &MessageKind) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame_into(kind, &mut out);
     out
+}
+
+/// Reads the CRC32 a frame's header carries (frame must be at least
+/// [`FRAME_HEADER_BYTES`] long — i.e. produced by [`encode_frame_into`]).
+pub fn frame_crc(frame: &[u8]) -> u32 {
+    u32::from_le_bytes(frame[9..13].try_into().unwrap())
 }
 
 struct Cursor<'a> {
@@ -533,6 +569,23 @@ mod tests {
             assert_eq!(payload_crc(&back), payload_crc(&kind));
             assert_eq!(back.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn frame_encode_into_matches_and_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        for kind in sample_kinds() {
+            encode_frame_into(&kind, &mut buf);
+            assert_eq!(buf, encode_frame(&kind), "{}", kind.name());
+            assert_eq!(frame_crc(&buf), payload_crc(&kind), "{}", kind.name());
+            assert_eq!(decode_frame(&buf).unwrap().name(), kind.name());
+        }
+        // Once grown to the largest frame, re-encoding never reallocates.
+        let cap = buf.capacity();
+        for kind in sample_kinds() {
+            encode_frame_into(&kind, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "steady-state encode must not grow");
     }
 
     #[test]

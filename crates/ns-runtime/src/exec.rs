@@ -256,7 +256,10 @@ fn enqueue_payloads(
         return None;
     }
     let views: Vec<&[u32]> = rows_per_peer.iter().map(|r| &r[..]).collect();
-    let enq = ParallelEnqueue::new(src.cols(), &slots);
+    // Staging buffers come from the tensor pool: shape-stationary send
+    // schedules mean next epoch's take_scratch is served by the buffers
+    // the receivers recycled this epoch.
+    let enq = ParallelEnqueue::new_with(src.cols(), &slots, ns_tensor::pool::take_scratch);
     enq.fill(src.data(), &views);
     rec.incr("net.enqueue.rows", total as u64);
     Some(enq)
@@ -435,12 +438,15 @@ fn ring_allreduce(
     let me = ep.id();
     let right = (me + 1) % m;
     let left = (me + m - 1) % m;
-    // Flatten.
-    let mut flat: Vec<f32> = Vec::new();
+    // Flatten into a pooled buffer (same length every epoch, so after the
+    // first epoch this take is always served from the free list).
+    let n: usize = grads.iter().map(Tensor::len).sum();
+    let mut flat = ns_tensor::pool::take_scratch(n);
+    let mut off = 0;
     for g in grads.iter() {
-        flat.extend_from_slice(g.data());
+        flat[off..off + g.len()].copy_from_slice(g.data());
+        off += g.len();
     }
-    let n = flat.len();
     let chunk_bounds: Vec<(usize, usize)> = (0..m)
         .map(|c| {
             let lo = c * n / m;
@@ -448,7 +454,14 @@ fn ring_allreduce(
             (lo, hi)
         })
         .collect();
-    let slice = |flat: &[f32], c: usize| flat[chunk_bounds[c].0..chunk_bounds[c].1].to_vec();
+    // Outgoing chunk copies are pooled too; the peer that receives one
+    // recycles it after accumulating (below), closing the loop.
+    let slice = |flat: &[f32], c: usize| {
+        let (lo, hi) = chunk_bounds[c];
+        let mut s = ns_tensor::pool::take_scratch(hi - lo);
+        s.copy_from_slice(&flat[lo..hi]);
+        s
+    };
 
     // Reduce-scatter.
     for s in 0..m - 1 {
@@ -464,6 +477,7 @@ fn ring_allreduce(
         for (dst, src) in flat[lo..hi].iter_mut().zip(data.iter()) {
             *dst += src;
         }
+        ns_tensor::pool::recycle(data);
     }
     // All-gather.
     for s in 0..m - 1 {
@@ -480,6 +494,7 @@ fn ring_allreduce(
         };
         let (lo, hi) = chunk_bounds[recv_c];
         flat[lo..hi].copy_from_slice(&data);
+        ns_tensor::pool::recycle(data);
     }
     // Unflatten.
     let mut off = 0;
@@ -488,6 +503,7 @@ fn ring_allreduce(
         g.data_mut().copy_from_slice(&flat[off..off + len]);
         off += len;
     }
+    ns_tensor::pool::recycle(flat);
     Ok(())
 }
 
@@ -505,10 +521,20 @@ fn ps_reduce(
         return Ok(());
     }
     let me = ep.id();
-    let mut flat: Vec<f32> = Vec::new();
+    let n: usize = grads.iter().map(Tensor::len).sum();
+    let mut flat = ns_tensor::pool::take_scratch(n);
+    let mut off = 0;
     for g in grads.iter() {
-        flat.extend_from_slice(g.data());
+        flat[off..off + g.len()].copy_from_slice(g.data());
+        off += g.len();
     }
+    // Full-vector copies shipped to peers come from the pool and are
+    // recycled by the receiver, like the ring chunks above.
+    let copy_of = |flat: &[f32]| {
+        let mut c = ns_tensor::pool::take_scratch(flat.len());
+        c.copy_from_slice(flat);
+        c
+    };
     if me == 0 {
         for src in 1..m {
             let msg = recv_retry(ep, src, ctx)?;
@@ -519,18 +545,19 @@ fn ps_reduce(
             for (a, b) in flat.iter_mut().zip(data.iter()) {
                 *a += b;
             }
+            ns_tensor::pool::recycle(data);
         }
         for dst in 1..m {
-            ep.send(dst, MessageKind::AllReduce { round: 1, data: flat.clone() })?;
+            ep.send(dst, MessageKind::AllReduce { round: 1, data: copy_of(&flat) })?;
         }
     } else {
-        ep.send(0, MessageKind::AllReduce { round: 0, data: flat.clone() })?;
+        ep.send(0, MessageKind::AllReduce { round: 0, data: copy_of(&flat) })?;
         let msg = recv_retry(ep, 0, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: 0, expected: "AllReduce", got });
         };
-        flat = data;
+        ns_tensor::pool::recycle(std::mem::replace(&mut flat, data));
     }
     let mut off = 0;
     for g in grads.iter_mut() {
@@ -538,6 +565,7 @@ fn ps_reduce(
         g.data_mut().copy_from_slice(&flat[off..off + len]);
         off += len;
     }
+    ns_tensor::pool::recycle(flat);
     Ok(())
 }
 
@@ -548,6 +576,8 @@ fn ps_reduce(
 fn export_net_stats(rec: &MetricsRecorder, stats: &NetStats) {
     rec.incr("net.sent.msgs", stats.sent_msgs);
     rec.incr("net.sent.bytes", stats.sent_bytes);
+    rec.incr("net.encode.frames", stats.encode_frames);
+    rec.incr("net.encode.bytes", stats.encode_bytes);
     for (k, name) in KIND_NAMES.iter().enumerate() {
         if stats.sent_msgs_by_kind[k] > 0 {
             rec.incr(&format!("net.sent.msgs.{name}"), stats.sent_msgs_by_kind[k]);
@@ -663,6 +693,13 @@ fn worker_body(
         plan.owned.iter().map(|&v| dataset.test_mask[v as usize]).collect(),
     ];
 
+    // Buffer-pool meters: the pool counters are process-wide, so worker 0
+    // exports the per-epoch deltas for the whole process (every worker's
+    // tensors share one pool). `alloc.steady_state` is the final epoch's
+    // fresh-buffer count — ~0 once shapes have stabilized (DESIGN.md §14).
+    let mut pool_base = ns_tensor::pool::stats();
+    let mut last_fresh_delta = 0u64;
+
     for epoch in 0..epochs {
         let abs_epoch = run.epoch_offset + epoch;
         ep.set_epoch(abs_epoch);
@@ -743,6 +780,9 @@ fn worker_body(
                             .row_mut(r as usize)
                             .copy_from_slice(&data[k * d_in..(k + 1) * d_in]);
                     }
+                    // The payload buffer was pooled by the sender's
+                    // enqueue path; hand it back for next epoch's sends.
+                    ns_tensor::pool::recycle(data);
                 }
                 input
             };
@@ -846,6 +886,7 @@ fn worker_body(
                         *a += b;
                     }
                 }
+                ns_tensor::pool::recycle(data);
             }
             g = g_prev;
         }
@@ -883,6 +924,16 @@ fn worker_body(
         // Attribute this epoch's intra-worker parallelism to this worker.
         export_par_stats(rec);
 
+        if me == 0 {
+            let now = ns_tensor::pool::stats();
+            last_fresh_delta = now.fresh - pool_base.fresh;
+            rec.incr("alloc.fresh", now.fresh - pool_base.fresh);
+            rec.incr("alloc.fresh_bytes", now.fresh_bytes - pool_base.fresh_bytes);
+            rec.incr("alloc.reused", now.reused - pool_base.reused);
+            rec.incr("alloc.recycled", now.recycled - pool_base.recycled);
+            pool_base = now;
+        }
+
         let report = WorkerReport {
             loss: head.loss,
             counts,
@@ -892,6 +943,9 @@ fn worker_body(
         // can only fail after a coordinator bug, and metric loss is not
         // worth crashing a worker over.
         let _ = tx.send((epoch, me, report));
+    }
+    if me == 0 && epochs > 0 {
+        rec.incr("alloc.steady_state", last_fresh_delta);
     }
     Ok((store, opt.export()))
 }

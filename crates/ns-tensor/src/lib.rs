@@ -26,6 +26,7 @@ pub mod checkpoint;
 pub mod flops;
 pub mod nn;
 pub mod optim;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 

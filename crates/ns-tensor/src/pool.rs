@@ -1,0 +1,229 @@
+//! Global tensor-buffer pool: the allocation backbone of the zero-alloc
+//! steady state (DESIGN.md §14).
+//!
+//! GNN training is *shape-stationary*: after the first epoch, every
+//! tensor the forward/backward/optimizer path materializes has a shape
+//! that was already materialized in the previous epoch. This pool turns
+//! that property into an allocation discipline — every [`crate::Tensor`]
+//! buffer is taken from an exact-length free list and returned to it on
+//! drop, so steady-state epochs recycle the previous epoch's buffers
+//! instead of touching the system allocator.
+//!
+//! Design points:
+//!
+//! * **Global, not thread-local.** Worker threads exchange tensors (a
+//!   gradient allocated on worker 1's thread is dropped on worker 0's),
+//!   so per-thread pools would leak buffers from producers and miss on
+//!   consumers forever. One process-wide mutex is cheap here: takes and
+//!   recycles are O(epoch tensor count), not O(element), and the lock
+//!   guards a couple of `Vec` pops.
+//! * **Exact-length buckets.** Shapes are stationary, so first-fit or
+//!   size-class schemes would only add fragmentation. A buffer is reused
+//!   only for a request of exactly its length.
+//! * **Bounded residency.** `NS_POOL_BYTES` (default 256 MiB) caps the
+//!   bytes parked in free lists; beyond it, recycled buffers fall back to
+//!   the allocator. A per-bucket count cap keeps one hot size class from
+//!   squeezing out the rest.
+//! * **Counted.** `fresh` / `reused` / `recycled` / `dropped` counters
+//!   feed the `alloc.*` meters (docs/OBSERVABILITY.md) and the
+//!   steady-state allocation test: an epoch that allocates nothing new
+//!   shows a zero `fresh` delta.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default cap on bytes parked in the pool's free lists.
+const DEFAULT_CAP_BYTES: usize = 256 << 20;
+
+/// Max buffers parked per exact-length bucket.
+const BUCKET_CAP: usize = 64;
+
+/// Buffers this small bypass the pool: the allocator's thread-local fast
+/// path beats a process-wide mutex for them, and they are too small to
+/// matter for steady-state residency. (16 f32 = one cache line.)
+const MIN_POOLED_LEN: usize = 16;
+
+/// Cumulative pool activity since process start (monotonic counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool-managed buffers allocated fresh (bucket miss). Sub-cache-line
+    /// requests are metered in `bypass`, not here, so a zero `fresh` delta
+    /// means "no new *tensor-sized* buffer touched the allocator".
+    pub fresh: u64,
+    /// Requests below [`MIN_POOLED_LEN`] served straight from the
+    /// allocator (scalars and tiny row vectors; never parked).
+    pub bypass: u64,
+    /// Buffers served from a free list.
+    pub reused: u64,
+    /// Buffers returned to a free list on drop.
+    pub recycled: u64,
+    /// Buffers released to the allocator instead (pool full).
+    pub dropped: u64,
+    /// Bytes allocated fresh.
+    pub fresh_bytes: u64,
+    /// Bytes currently parked in free lists.
+    pub resident_bytes: u64,
+}
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+static BYPASS: AtomicU64 = AtomicU64::new(0);
+static REUSED: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static FRESH_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct Buckets {
+    map: HashMap<usize, Vec<Vec<f32>>>,
+    resident_bytes: usize,
+    cap_bytes: usize,
+}
+
+fn pool() -> &'static Mutex<Buckets> {
+    static POOL: OnceLock<Mutex<Buckets>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let cap_bytes = std::env::var("NS_POOL_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAP_BYTES);
+        Mutex::new(Buckets { map: HashMap::new(), resident_bytes: 0, cap_bytes })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Buckets> {
+    pool().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Takes a length-`len` buffer with **unspecified (stale) contents**.
+///
+/// The buffer is always fully initialized memory — either zeros from a
+/// fresh allocation or whatever the previous owner wrote — so reading it
+/// is safe but meaningless. Callers must overwrite every element before
+/// the buffer escapes.
+pub fn take_scratch(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED_LEN {
+        BYPASS.fetch_add(1, Ordering::Relaxed);
+        return vec![0.0; len];
+    }
+    {
+        let mut g = lock();
+        if let Some(buf) = g.map.get_mut(&len).and_then(Vec::pop) {
+            g.resident_bytes = g.resident_bytes.saturating_sub(len * 4);
+            drop(g);
+            REUSED.fetch_add(1, Ordering::Relaxed);
+            debug_assert_eq!(buf.len(), len);
+            return buf;
+        }
+    }
+    FRESH.fetch_add(1, Ordering::Relaxed);
+    FRESH_BYTES.fetch_add((len * 4) as u64, Ordering::Relaxed);
+    vec![0.0; len]
+}
+
+/// Takes a length-`len` buffer filled with `+0.0`.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take_scratch(len);
+    buf.fill(0.0);
+    buf
+}
+
+/// Returns a buffer to its exact-length free list (or to the allocator
+/// when the pool is at capacity). Called by `Tensor`'s `Drop`.
+pub fn recycle(buf: Vec<f32>) {
+    let len = buf.len();
+    if len < MIN_POOLED_LEN {
+        return; // dropped by caller; too small to meter
+    }
+    let mut g = lock();
+    if g.resident_bytes + len * 4 > g.cap_bytes {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let bucket = g.map.entry(len).or_default();
+    if bucket.len() >= BUCKET_CAP {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    bucket.push(buf);
+    g.resident_bytes += len * 4;
+    RECYCLED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the cumulative counters (monotonic except
+/// `resident_bytes`). Meters and the steady-state allocation test read
+/// deltas between snapshots.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        fresh: FRESH.load(Ordering::Relaxed),
+        bypass: BYPASS.load(Ordering::Relaxed),
+        reused: REUSED.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+        dropped: DROPPED.load(Ordering::Relaxed),
+        fresh_bytes: FRESH_BYTES.load(Ordering::Relaxed),
+        resident_bytes: lock().resident_bytes as u64,
+    }
+}
+
+/// Releases every parked buffer to the allocator (counters keep their
+/// values). Mainly for memory-pressure tests.
+pub fn clear() {
+    let mut g = lock();
+    g.map.clear();
+    g.resident_bytes = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pool state is process-global, so these assertions use deltas and
+    // unique lengths to stay independent of other tests.
+
+    #[test]
+    fn recycled_buffer_is_reused_for_same_length() {
+        let len = 4093; // prime, unlikely to collide with other tests
+        let before = stats();
+        let a = take_scratch(len);
+        let ptr = a.as_ptr();
+        recycle(a);
+        let b = take_scratch(len);
+        assert_eq!(b.as_ptr(), ptr, "same buffer must come back");
+        let after = stats();
+        assert_eq!(after.fresh - before.fresh, 1);
+        assert!(after.reused > before.reused);
+        recycle(b);
+    }
+
+    #[test]
+    fn different_length_misses_the_bucket() {
+        let a = take_scratch(2039);
+        recycle(a);
+        let before = stats();
+        let b = take_scratch(2040);
+        let after = stats();
+        assert_eq!(after.fresh - before.fresh, 1, "length mismatch must miss");
+        recycle(b);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let len = 3001;
+        let mut a = take_scratch(len);
+        a.fill(7.5);
+        recycle(a);
+        let b = take_zeroed(len);
+        assert!(b.iter().all(|&v| v == 0.0));
+        recycle(b);
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        let before = stats();
+        let a = take_scratch(MIN_POOLED_LEN - 1);
+        recycle(a);
+        let after = stats();
+        assert_eq!(after.recycled, before.recycled, "tiny buffers are not parked");
+        assert_eq!(after.fresh, before.fresh, "bypass takes are not fresh");
+        assert_eq!(after.bypass - before.bypass, 1, "bypass takes are metered");
+    }
+}

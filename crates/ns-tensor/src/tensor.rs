@@ -38,16 +38,169 @@ fn par_rows(
     });
 }
 
+/// Rows of the matmul micro-kernel tile processed together (reuses each
+/// loaded `b` strip across MR accumulator rows, cutting B-matrix traffic
+/// by MR).
+const MR: usize = 4;
+/// Columns per accumulator tile: 8 f32 = one AVX2 register, the unroll
+/// the autovectorizer turns into a single FMA per row per step.
+const NR: usize = 8;
+
+/// Packs the full NR-wide column tiles of `b` (`k x m` row-major) into
+/// contiguous `k x NR` panels: panel `jt` holds columns
+/// `jt*NR..jt*NR + NR` with the `k` index contiguous-by-strip, so the
+/// micro-kernel's inner loop reads one sequential 8 KiB stream per tile
+/// instead of striding `m` floats per step. Pure layout change — element
+/// values and the kernel's accumulation order are untouched. Tail
+/// columns (`m % NR`) stay in the original buffer.
+fn pack_b_panels(bdata: &[f32], k: usize, m: usize) -> Vec<f32> {
+    let tiles = m / NR;
+    let mut bp = crate::pool::take_scratch(tiles * k * NR);
+    for (jt, panel) in bp.chunks_exact_mut(k * NR).enumerate() {
+        let j = jt * NR;
+        for (kk, strip) in panel.chunks_exact_mut(NR).enumerate() {
+            strip.copy_from_slice(&bdata[kk * m + j..kk * m + j + NR]);
+        }
+    }
+    bp
+}
+
+/// Register-tiled inner kernel shared by `matmul` / `matmul_tn` /
+/// `matmul_nt`: computes output rows `lo..lo + orows.len()/m` of
+/// `out = a @ b` (`a` is `n x k` row-major; `b` is supplied as packed
+/// panels `bp` from [`pack_b_panels`] plus the original `bdata` for the
+/// column tail).
+///
+/// Tiling is MR x NR accumulator blocks held in stack arrays: the `k`
+/// loop broadcasts one `a` scalar per row against a contiguous NR-wide
+/// strip of `b`, so every output element still accumulates in ascending
+/// `k` order — bit-identical to the naive `i-j-k` triple loop and
+/// independent of tile placement, which is what keeps thread-count
+/// parity exact.
+fn matmul_rows(
+    adata: &[f32],
+    bp: &[f32],
+    bdata: &[f32],
+    k: usize,
+    m: usize,
+    lo: usize,
+    orows: &mut [f32],
+) {
+    if m == 0 {
+        return;
+    }
+    let rows = orows.len() / m;
+    let tiles = m / NR;
+    let jtail = tiles * NR;
+    let mut r = 0usize;
+    while r + MR <= rows {
+        let i = lo + r;
+        // Hoisting each row of `a` into its own length-`k` slice lets the
+        // compiler prove `a?[kk]` in-bounds from the loop over the panel's
+        // exactly-`k` strips; leaving the `(i + t) * k + kk` indexing inline
+        // keeps a bounds check (and its branch) inside the FMA loop, which
+        // measures ~1.8x slower at runtime-opaque shapes.
+        let a0 = &adata[i * k..(i + 1) * k];
+        let a1 = &adata[(i + 1) * k..(i + 2) * k];
+        let a2 = &adata[(i + 2) * k..(i + 3) * k];
+        let a3 = &adata[(i + 3) * k..(i + 4) * k];
+        for (jt, panel) in bp.chunks_exact(k * NR).enumerate() {
+            let j = jt * NR;
+            let mut acc = [[0.0f32; NR]; MR];
+            for (kk, strip) in panel.chunks_exact(NR).enumerate() {
+                let b: &[f32; NR] = strip.try_into().unwrap();
+                let xs = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                for t in 0..MR {
+                    let x = xs[t];
+                    for u in 0..NR {
+                        acc[t][u] += x * b[u];
+                    }
+                }
+            }
+            for (t, at) in acc.iter().enumerate() {
+                orows[(r + t) * m + j..(r + t) * m + j + NR].copy_from_slice(at);
+            }
+        }
+        if jtail < m {
+            let w = m - jtail;
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let b = &bdata[kk * m + jtail..kk * m + m];
+                for t in 0..MR {
+                    let x = adata[(i + t) * k + kk];
+                    for u in 0..w {
+                        acc[t][u] += x * b[u];
+                    }
+                }
+            }
+            for (t, at) in acc.iter().enumerate() {
+                orows[(r + t) * m + jtail..(r + t + 1) * m].copy_from_slice(&at[..w]);
+            }
+        }
+        r += MR;
+    }
+    while r < rows {
+        let i = lo + r;
+        let a0 = &adata[i * k..(i + 1) * k];
+        for (jt, panel) in bp.chunks_exact(k * NR).enumerate() {
+            let j = jt * NR;
+            let mut acc = [0.0f32; NR];
+            for (kk, strip) in panel.chunks_exact(NR).enumerate() {
+                let b: &[f32; NR] = strip.try_into().unwrap();
+                let x = a0[kk];
+                for u in 0..NR {
+                    acc[u] += x * b[u];
+                }
+            }
+            orows[r * m + j..r * m + j + NR].copy_from_slice(&acc);
+        }
+        if jtail < m {
+            let w = m - jtail;
+            let mut acc = [0.0f32; NR];
+            for kk in 0..k {
+                let b = &bdata[kk * m + jtail..kk * m + m];
+                let x = adata[i * k + kk];
+                for u in 0..w {
+                    acc[u] += x * b[u];
+                }
+            }
+            orows[r * m + jtail..r * m + m].copy_from_slice(&acc[..w]);
+        }
+        r += 1;
+    }
+}
+
 /// A dense, row-major, two-dimensional `f32` tensor.
 ///
 /// Scalars are represented as `1 x 1` tensors; row vectors (e.g. biases) as
 /// `1 x d`. All kernels are panics-on-misuse internally but the public
 /// constructors validate shapes.
-#[derive(Clone, PartialEq)]
+///
+/// Backing buffers come from the process-wide [`crate::pool`]: `Drop`
+/// recycles them and the constructors (including `Clone`) take them back,
+/// so shape-stationary workloads reach a zero-allocation steady state
+/// (DESIGN.md §14).
+#[derive(PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        out.data.copy_from_slice(&self.data);
+        out
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        if !self.data.is_empty() {
+            crate::pool::recycle(std::mem::take(&mut self.data));
+        }
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -74,17 +227,29 @@ impl Tensor {
 
     /// A `rows x cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: crate::pool::take_zeroed(rows * cols) }
+    }
+
+    /// A `rows x cols` tensor with **unspecified contents**, for kernels
+    /// that overwrite every element before the tensor escapes. The
+    /// buffer is always initialized memory (pool reuse or fresh zeros),
+    /// so this is safe — just meaningless until written.
+    pub(crate) fn scratch(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: crate::pool::take_scratch(rows * cols) }
     }
 
     /// A `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        let mut out = Self::scratch(rows, cols);
+        out.data.fill(value);
+        out
     }
 
     /// A `1 x 1` scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Self::from_vec(1, 1, vec![value])
+        let mut out = Self::scratch(1, 1);
+        out.data[0] = value;
+        out
     }
 
     /// Number of rows.
@@ -129,9 +294,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consume into the backing storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consume into the backing storage (the buffer leaves the pool's
+    /// custody; recycle it via a later `Tensor::from_vec` drop if long
+    /// steady-state reuse matters).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element accessor.
@@ -170,8 +337,11 @@ impl Tensor {
 
     /// Returns `self @ other` (matrix product).
     ///
-    /// Uses an `i-k-j` loop order so the inner loop is a contiguous
-    /// fused-multiply-add over `other`'s rows, which LLVM vectorizes.
+    /// Register-tiled (see [`matmul_rows`]): each thread's row block runs
+    /// the same MR x NR micro-kernel with a fixed ascending-`k` inner
+    /// order per output element, so results are bit-identical at every
+    /// thread count *and* exactly equal to the naive `i-j-k` triple loop
+    /// (pinned by `tests/tiled_equivalence.rs`).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -179,32 +349,23 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        par_rows(&mut out, n, m, k * m, |lo, orows| {
-            for (ri, orow) in orows.chunks_mut(m).enumerate() {
-                let i = lo + ri;
-                let arow = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[kk * m..(kk + 1) * m];
-                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
+        let bp = pack_b_panels(&other.data, k, m);
+        let mut out = Tensor::scratch(n, m);
+        par_rows(&mut out.data, n, m, k * m, |lo, orows| {
+            matmul_rows(&self.data, &bp, &other.data, k, m, lo, orows);
         });
-        Tensor::from_vec(n, m, out)
+        crate::pool::recycle(bp);
+        out
     }
 
-    /// Returns `selfᵀ @ other` without materializing the transpose.
+    /// Returns `selfᵀ @ other`.
     ///
-    /// Output row `i` depends only on column `i` of `self`, so the
-    /// kernel iterates `i`-outer / `kk`-inner: each output row has a
-    /// single owner and the per-element accumulation order (`kk`
-    /// ascending, zeros skipped) matches `self.transpose().matmul(other)`
-    /// exactly.
+    /// Materializes the (cheap, `O(k·n)`) transpose of `self` into a
+    /// pooled scratch buffer and runs the same tiled kernel as
+    /// [`Self::matmul`] — the per-element accumulation order (`kk`
+    /// ascending) is identical to `self.transpose().matmul(other)` by
+    /// construction, and the transpose cost is negligible against the
+    /// `O(n·k·m)` product it unlocks contiguous loads for.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -212,32 +373,22 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        par_rows(&mut out, n, m, k * m, |lo, orows| {
-            for (ri, orow) in orows.chunks_mut(m).enumerate() {
-                let i = lo + ri;
-                for kk in 0..k {
-                    let a = self.data[kk * n + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[kk * m..(kk + 1) * m];
-                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
+        let at = self.transpose(); // n x k, pooled scratch
+        let bp = pack_b_panels(&other.data, k, m);
+        let mut out = Tensor::scratch(n, m);
+        par_rows(&mut out.data, n, m, k * m, |lo, orows| {
+            matmul_rows(&at.data, &bp, &other.data, k, m, lo, orows);
         });
-        Tensor::from_vec(n, m, out)
+        crate::pool::recycle(bp);
+        out
     }
 
-    /// Returns `self @ otherᵀ` without materializing the transpose.
+    /// Returns `self @ otherᵀ`.
     ///
-    /// Each output element is an independent dot product, accumulated
-    /// into local scalars over contiguous rows of both operands. Columns
-    /// are processed four at a time so `arow` is loaded once per block
-    /// and the four accumulators pipeline; the accumulation order per
-    /// element (ascending `kk`) is unchanged by the blocking.
+    /// Materializes the transpose of `other` (`O(m·k)`, pooled) and runs
+    /// the tiled [`Self::matmul`] kernel. Per output element this
+    /// accumulates `self[i][kk] * other[j][kk]` in ascending `kk` — the
+    /// same order as a scalar dot product of the two contiguous rows.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -245,119 +396,103 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; n * m];
-        par_rows(&mut out, n, m, k * m, |lo, orows| {
-            for (ri, orow) in orows.chunks_mut(m).enumerate() {
-                let i = lo + ri;
-                let arow = &self.data[i * k..(i + 1) * k];
-                let mut j = 0usize;
-                while j + 4 <= m {
-                    let b0 = &other.data[j * k..(j + 1) * k];
-                    let b1 = &other.data[(j + 1) * k..(j + 2) * k];
-                    let b2 = &other.data[(j + 2) * k..(j + 3) * k];
-                    let b3 = &other.data[(j + 3) * k..(j + 4) * k];
-                    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                    for (kk, &a) in arow.iter().enumerate() {
-                        a0 += a * b0[kk];
-                        a1 += a * b1[kk];
-                        a2 += a * b2[kk];
-                        a3 += a * b3[kk];
-                    }
-                    orow[j] = a0;
-                    orow[j + 1] = a1;
-                    orow[j + 2] = a2;
-                    orow[j + 3] = a3;
-                    j += 4;
-                }
-                while j < m {
-                    let brow = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in arow.iter().zip(brow.iter()) {
-                        acc += a * b;
-                    }
-                    orow[j] = acc;
-                    j += 1;
-                }
-            }
+        let bt = other.transpose(); // k x m, pooled scratch
+        let bp = pack_b_panels(&bt.data, k, m);
+        let mut out = Tensor::scratch(n, m);
+        par_rows(&mut out.data, n, m, k * m, |lo, orows| {
+            matmul_rows(&self.data, &bp, &bt.data, k, m, lo, orows);
         });
-        Tensor::from_vec(n, m, out)
+        crate::pool::recycle(bp);
+        out
     }
 
-    /// Materialized transpose.
+    /// Materialized transpose (cache-blocked).
     pub fn transpose(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.data.len()];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
-        Tensor::from_vec(self.cols, self.rows, out)
-    }
-
-    /// Elementwise sum; shapes must match exactly.
-    pub fn add(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Elementwise difference; shapes must match exactly.
-    pub fn sub(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a - b)
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Elementwise (Hadamard) product; shapes must match exactly.
-    pub fn mul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "mul: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Multiply every element by `s`.
-    pub fn scale(&self, s: f32) -> Tensor {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Adds a `1 x cols` row vector to every row.
-    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
-        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a row vector");
-        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
-                *o += b;
+        let mut out = Tensor::scratch(self.cols, self.rows);
+        const B: usize = 32; // 32x32 f32 block = 4 KiB, L1-resident both ways
+        for rb in (0..self.rows).step_by(B) {
+            let re = (rb + B).min(self.rows);
+            for cb in (0..self.cols).step_by(B) {
+                let ce = (cb + B).min(self.cols);
+                for r in rb..re {
+                    for c in cb..ce {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
     }
 
-    /// Multiplies each row `r` by the scalar `coeff[r]` (an `n x 1` tensor).
+    /// Elementwise sum; shapes must match exactly.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
+        out
+    }
+
+    /// Elementwise difference; shapes must match exactly.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a - b;
+        }
+        out
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match exactly.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "mul: shape mismatch");
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
+        out
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = a * s;
+        }
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row (single pass, no
+    /// intermediate copy of `self`).
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        let cols = self.cols.max(1);
+        for (orow, srow) in out.data.chunks_mut(cols).zip(self.data.chunks(cols)) {
+            for ((o, &a), &b) in orow.iter_mut().zip(srow).zip(&row.data) {
+                *o = a + b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each row `r` by the scalar `coeff[r]` (an `n x 1`
+    /// tensor), single pass.
     pub fn mul_col_broadcast(&self, coeff: &Tensor) -> Tensor {
         assert_eq!(coeff.cols, 1, "mul_col_broadcast: coeff must be n x 1");
         assert_eq!(coeff.rows, self.rows, "mul_col_broadcast: height mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let c = coeff.data[r];
-            for o in out.row_mut(r) {
-                *o *= c;
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        let cols = self.cols.max(1);
+        for ((orow, srow), &c) in out
+            .data
+            .chunks_mut(cols)
+            .zip(self.data.chunks(cols))
+            .zip(&coeff.data)
+        {
+            for (o, &a) in orow.iter_mut().zip(srow) {
+                *o = a * c;
             }
         }
         out
@@ -379,16 +514,17 @@ impl Tensor {
         }
     }
 
-    /// Gathers rows `idx` into a new `idx.len() x cols` tensor.
+    /// Gathers rows `idx` into a new `idx.len() x cols` tensor. Pure
+    /// row-copy into pooled scratch — no zero-fill pre-pass.
     pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
         let d = self.cols;
-        let mut out = vec![0.0f32; idx.len() * d];
-        par_rows(&mut out, idx.len(), d, d, |lo, orows| {
-            for (ri, orow) in orows.chunks_mut(d).enumerate() {
+        let mut out = Tensor::scratch(idx.len(), d);
+        par_rows(&mut out.data, idx.len(), d, d, |lo, orows| {
+            for (ri, orow) in orows.chunks_mut(d.max(1)).enumerate() {
                 orow.copy_from_slice(self.row(idx[lo + ri] as usize));
             }
         });
-        Tensor::from_vec(idx.len(), d, out)
+        out
     }
 
     /// Scatter-add: `out[idx[r]] += self[r]` for every row `r`; output has
@@ -422,74 +558,77 @@ impl Tensor {
         out
     }
 
-    /// Concatenates columns: `[self | other]`.
+    /// Concatenates columns: `[self | other]`. One pass of row copies
+    /// straight into the preallocated output.
     pub fn concat_cols(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "concat_cols: row mismatch");
         let cols = self.cols + other.cols;
-        let mut out = Vec::with_capacity(self.rows * cols);
+        let mut out = Tensor::scratch(self.rows, cols);
         for r in 0..self.rows {
-            out.extend_from_slice(self.row(r));
-            out.extend_from_slice(other.row(r));
+            let base = r * cols;
+            out.data[base..base + self.cols].copy_from_slice(self.row(r));
+            out.data[base + self.cols..base + cols].copy_from_slice(other.row(r));
         }
-        Tensor::from_vec(self.rows, cols, out)
+        out
     }
 
-    /// Splits columns at `at`: returns (`[.., ..at]`, `[.., at..]`).
+    /// Splits columns at `at`: returns (`[.., ..at]`, `[.., at..]`). One
+    /// pass of row copies into two preallocated outputs.
     pub fn split_cols(&self, at: usize) -> (Tensor, Tensor) {
         assert!(at <= self.cols, "split_cols: at > cols");
-        let mut left = Vec::with_capacity(self.rows * at);
-        let mut right = Vec::with_capacity(self.rows * (self.cols - at));
+        let rcols = self.cols - at;
+        let mut left = Tensor::scratch(self.rows, at);
+        let mut right = Tensor::scratch(self.rows, rcols);
         for r in 0..self.rows {
             let row = self.row(r);
-            left.extend_from_slice(&row[..at]);
-            right.extend_from_slice(&row[at..]);
+            left.data[r * at..(r + 1) * at].copy_from_slice(&row[..at]);
+            right.data[r * rcols..(r + 1) * rcols].copy_from_slice(&row[at..]);
         }
-        (
-            Tensor::from_vec(self.rows, at, left),
-            Tensor::from_vec(self.rows, self.cols - at, right),
-        )
+        (left, right)
     }
 
     /// ReLU.
     pub fn relu(&self) -> Tensor {
-        let data = self.data.iter().map(|&a| a.max(0.0)).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = a.max(0.0);
+        }
+        out
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, alpha: f32) -> Tensor {
-        let data = self
-            .data
-            .iter()
-            .map(|&a| if a > 0.0 { a } else { alpha * a })
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = if a > 0.0 { a } else { alpha * a };
+        }
+        out
     }
 
     /// ELU with scale `alpha`.
     pub fn elu(&self, alpha: f32) -> Tensor {
-        let data = self
-            .data
-            .iter()
-            .map(|&a| if a > 0.0 { a } else { alpha * (a.exp() - 1.0) })
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = if a > 0.0 { a } else { alpha * (a.exp() - 1.0) };
+        }
+        out
     }
 
-    /// Row-wise log-softmax (numerically stabilized).
+    /// Row-wise log-softmax (numerically stabilized). Writes shifted
+    /// values straight into the output — no upfront copy of `self`.
     pub fn log_softmax_rows(&self) -> Tensor {
-        let mut out = self.clone();
-        for r in 0..self.rows {
-            let row = out.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut out = Tensor::scratch(self.rows, self.cols);
+        let cols = self.cols.max(1);
+        for (orow, srow) in out.data.chunks_mut(cols).zip(self.data.chunks(cols)) {
+            let max = srow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v -= max;
-                sum += v.exp();
+            for (o, &a) in orow.iter_mut().zip(srow) {
+                *o = a - max;
+                sum += o.exp();
             }
             let log_sum = sum.ln();
-            for v in row.iter_mut() {
-                *v -= log_sum;
+            for o in orow.iter_mut() {
+                *o -= log_sum;
             }
         }
         out
@@ -502,13 +641,13 @@ impl Tensor {
 
     /// Sum of columns: returns a `1 x cols` row vector.
     pub fn sum_rows(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = Tensor::zeros(1, self.cols);
         for r in 0..self.rows {
-            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
                 *o += v;
             }
         }
-        Tensor::from_vec(1, self.cols, out)
+        out
     }
 
     /// Frobenius norm.
@@ -555,29 +694,74 @@ impl Tensor {
     ) -> Tensor {
         let n_dst = dst_offsets.len() - 1;
         let d = self.cols;
-        let mut out = Tensor::zeros(n_dst, d);
+        let mut out = Tensor::scratch(n_dst, d);
         let n_edges = dst_offsets[n_dst];
         let work_per_row = (n_edges / n_dst.max(1) + 1) * d.max(1);
+        // Column-tiled: per destination, each NR-wide column strip
+        // accumulates its whole edge segment in registers and stores
+        // once — per-edge traffic drops from a full output-row
+        // read-modify-write to an NR-float source read. Per output
+        // element the edge order is still ascending `e`, so results are
+        // bit-identical to the edge-outer formulation.
         par_rows(&mut out.data, n_dst, d, work_per_row, |lo, orows| {
-            for (ri, row) in orows.chunks_mut(d).enumerate() {
+            for (ri, row) in orows.chunks_mut(d.max(1)).enumerate() {
                 let dst = lo + ri;
-                for e in dst_offsets[dst]..dst_offsets[dst + 1] {
-                    let src = edge_src[e] as usize;
-                    debug_assert!(src < self.rows);
-                    let srow = &self.data[src * d..(src + 1) * d];
+                let (es, ee) = (dst_offsets[dst], dst_offsets[dst + 1]);
+                let seg = &edge_src[es..ee];
+                let mut j = 0usize;
+                while j + NR <= d {
+                    let mut acc = [0.0f32; NR];
                     match weights {
                         Some(w) => {
-                            let we = w[e];
-                            for (o, &s) in row.iter_mut().zip(srow) {
-                                *o += we * s;
+                            for (idx, &src) in seg.iter().enumerate() {
+                                let we = w[es + idx];
+                                let s: &[f32; NR] = self.data
+                                    [src as usize * d + j..src as usize * d + j + NR]
+                                    .try_into()
+                                    .unwrap();
+                                for u in 0..NR {
+                                    acc[u] += we * s[u];
+                                }
                             }
                         }
                         None => {
-                            for (o, &s) in row.iter_mut().zip(srow) {
-                                *o += s;
+                            for &src in seg {
+                                let s: &[f32; NR] = self.data
+                                    [src as usize * d + j..src as usize * d + j + NR]
+                                    .try_into()
+                                    .unwrap();
+                                for u in 0..NR {
+                                    acc[u] += s[u];
+                                }
                             }
                         }
                     }
+                    row[j..j + NR].copy_from_slice(&acc);
+                    j += NR;
+                }
+                if j < d {
+                    let w_cols = d - j;
+                    let mut acc = [0.0f32; NR];
+                    match weights {
+                        Some(w) => {
+                            for (idx, &src) in seg.iter().enumerate() {
+                                let we = w[es + idx];
+                                let s = &self.data[src as usize * d + j..(src as usize + 1) * d];
+                                for u in 0..w_cols {
+                                    acc[u] += we * s[u];
+                                }
+                            }
+                        }
+                        None => {
+                            for &src in seg {
+                                let s = &self.data[src as usize * d + j..(src as usize + 1) * d];
+                                for u in 0..w_cols {
+                                    acc[u] += s[u];
+                                }
+                            }
+                        }
+                    }
+                    row[j..].copy_from_slice(&acc[..w_cols]);
                 }
             }
         });

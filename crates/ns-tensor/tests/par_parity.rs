@@ -2,11 +2,13 @@
 //!
 //! Every hot kernel is partitioned by destination row (DESIGN.md §11), so
 //! the floating-point accumulation order per output element is the same
-//! at any thread count. These property-style tests draw random shapes,
-//! contents (including exact zeros, which the matmul kernels skip), and
-//! edge structures, and assert *exact* equality — not tolerance — between
-//! 1-thread and multi-thread runs. The chaos harness and the `--threads`
-//! trainer parity suite both lean on this guarantee.
+//! at any thread count — the register-tiled matmuls and column-tiled
+//! aggregation only regroup *which* output elements a step computes,
+//! never the per-element `k`/edge order. These property-style tests draw
+//! random shapes, contents (including exact zeros), and edge structures,
+//! and assert *exact* equality — not tolerance — between 1-thread and
+//! multi-thread runs. The chaos harness and the `--threads` trainer
+//! parity suite both lean on this guarantee.
 
 use ns_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -16,7 +18,7 @@ const TRIALS: u64 = 12;
 const THREAD_COUNTS: [usize; 4] = [2, 3, 4, 8];
 
 fn rand_f32(rng: &mut StdRng) -> f32 {
-    // Mix in exact zeros so the zero-skip branches are exercised.
+    // Mix in exact zeros so signed-zero handling is exercised.
     let v: f32 = rng.random_range(-2.0..2.0);
     if rng.random_range(0..8) == 0 {
         0.0

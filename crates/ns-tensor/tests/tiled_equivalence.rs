@@ -1,0 +1,113 @@
+//! Exact equivalence of the register-tiled matmul family against a naive
+//! triple-loop reference.
+//!
+//! The tiled kernels (MR x NR accumulator blocks over packed B panels,
+//! `tensor.rs`) promise *bit-identical* results to the textbook `i-j-k`
+//! loop: tiling regroups which output elements a step computes, never the
+//! per-element ascending-`k` accumulation order, and rustc performs no
+//! FP contraction or reassociation. These tests pin that promise across
+//! odd/prime/tail-heavy shapes in `1..=64` — every combination of full
+//! MR-row groups, row tails, full NR-column panels, and column tails.
+
+use ns_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Naive reference: `out[i][j] = sum_k a[i][k] * b[k][j]`, `k` ascending —
+/// the exact per-element order the tiled kernel must reproduce.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (n, k) = (a.rows(), a.cols());
+    let m = b.cols();
+    assert_eq!(b.rows(), k);
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += ad[i * k + kk] * bd[kk * m + j];
+            }
+            out[i * m + j] = acc;
+        }
+    }
+    out
+}
+
+fn rand_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| {
+            // Exact zeros and negative zeros included: the kernels have no
+            // zero-skip, so ±0.0 must flow through arithmetic unchanged.
+            match rng.random_range(0..10) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.random_range(-2.0..2.0f32),
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Odd, prime, and tile-boundary shape values in `1..=64`: around the
+/// MR (4) and NR (8) tile widths, primes that never divide either, and
+/// the extremes.
+const SHAPES: [usize; 12] = [1, 2, 3, 4, 5, 7, 8, 9, 13, 31, 37, 64];
+
+fn check_triple(rng: &mut StdRng, n: usize, k: usize, m: usize) {
+    let a = rand_tensor(rng, n, k);
+    let b = rand_tensor(rng, k, m);
+    let reference = naive_matmul(&a, &b);
+    let tiled = a.matmul(&b);
+    assert_eq!(tiled.data(), &reference[..], "matmul {n}x{k}x{m}");
+
+    // matmul_tn(x, b) computes transpose(x) @ b; feed it the transposed
+    // operand so all three variants must reproduce the same reference.
+    let at = a.transpose();
+    let tn = at.matmul_tn(&b);
+    assert_eq!(tn.data(), &reference[..], "matmul_tn {n}x{k}x{m}");
+
+    let bt = b.transpose();
+    let nt = a.matmul_nt(&bt);
+    assert_eq!(nt.data(), &reference[..], "matmul_nt {n}x{k}x{m}");
+}
+
+#[test]
+fn tiled_matmul_family_equals_naive_reference_on_odd_prime_shapes() {
+    ns_par::set_threads(1);
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for &n in &SHAPES {
+        for &k in &SHAPES {
+            for &m in &SHAPES {
+                check_triple(&mut rng, n, k, m);
+            }
+        }
+    }
+}
+
+#[test]
+fn tiled_matmul_family_equals_naive_reference_on_random_shapes() {
+    ns_par::set_threads(1);
+    let mut rng = StdRng::seed_from_u64(0xBEE5);
+    for _ in 0..40 {
+        let n = rng.random_range(1..=64usize);
+        let k = rng.random_range(1..=64usize);
+        let m = rng.random_range(1..=64usize);
+        check_triple(&mut rng, n, k, m);
+    }
+}
+
+#[test]
+fn tiled_matmul_equals_naive_reference_above_parallel_threshold() {
+    // Shapes big enough that par_rows fans out; the reference must still
+    // match exactly at every thread count (row blocks never change the
+    // per-element k order).
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let a = rand_tensor(&mut rng, 97, 53);
+    let b = rand_tensor(&mut rng, 53, 61);
+    let reference = naive_matmul(&a, &b);
+    for threads in [1usize, 2, 3, 4, 8] {
+        ns_par::set_threads(threads);
+        assert_eq!(a.matmul(&b).data(), &reference[..], "{threads} threads");
+    }
+    ns_par::set_threads(1);
+}

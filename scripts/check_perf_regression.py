@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate perf regressions against the committed compute-bench baseline.
+
+Compares a freshly generated ``BENCH_compute.json`` (bench-compute/v2)
+against the committed copy, row by row (matched on ``op`` + ``threads``):
+any op more than ``--tolerance`` (default 25%) slower than its committed
+``ns_per_iter`` fails the gate. Microbenchmarks are only comparable on
+similar hardware, so when the fresh run's recorded core count differs
+from the committed baseline's, the gate skips with exit 0 — a 2-core CI
+runner must not be judged against numbers recorded on the 1-core
+reference box.
+
+Usage: check_perf_regression.py <fresh.json> [--baseline BENCH_compute.json]
+                                [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load(path: Path) -> dict:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    schema = doc.get("schema", "")
+    if not schema.startswith("bench-compute/"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", type=Path, help="freshly generated BENCH_compute.json")
+    ap.add_argument(
+        "--baseline",
+        type=Path,
+        default=ROOT / "BENCH_compute.json",
+        help="committed baseline (default: repo root BENCH_compute.json)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction before failing (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    fresh_cores = fresh.get("cores", 0)
+    base_cores = base.get("cores", 0)
+    if fresh_cores != base_cores:
+        print(
+            f"SKIP: fresh run saw {fresh_cores} cores, baseline recorded "
+            f"{base_cores} — numbers are not comparable across machines"
+        )
+        return 0
+
+    base_rows = {
+        (r["op"], r["threads"]): r["ns_per_iter"] for r in base.get("results", [])
+    }
+    failures = []
+    compared = 0
+    for row in fresh.get("results", []):
+        key = (row["op"], row["threads"])
+        committed = base_rows.get(key)
+        if committed is None:
+            continue  # op added since the baseline was recorded
+        compared += 1
+        ratio = row["ns_per_iter"] / max(committed, 1)
+        tag = "FAIL" if ratio > 1.0 + args.tolerance else "ok"
+        print(
+            f"{tag:4} {row['op']:<14} threads={row['threads']} "
+            f"{row['ns_per_iter']:>12} ns vs {committed:>12} ns ({ratio:.2f}x)"
+        )
+        if tag == "FAIL":
+            failures.append(key)
+
+    if compared == 0:
+        sys.exit("no comparable rows between fresh run and baseline")
+    if failures:
+        print(
+            f"\n{len(failures)} op(s) regressed more than "
+            f"{args.tolerance:.0%} vs the committed baseline: "
+            + ", ".join(f"{op}@{t}t" for op, t in failures)
+        )
+        return 1
+    print(f"\nall {compared} compared rows within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
