@@ -76,12 +76,19 @@ fn run_chaos(ca: &ChaosArgs) {
         corrupt: ca.corrupt,
         ckpt_base: Some(ckpt_base.clone()),
         partition: ca.partition,
+        resource: ca.resource,
         ..ChaosConfig::default()
     };
     println!(
         "chaos soak ({}): {} schedules from seed {} | {} x{} workers, {} epochs, \
          checkpoint every {}, corrupt <= {:.2}, stores under {}",
-        if cfg.partition { "link-fault matrix" } else { "process-fault matrix" },
+        if cfg.partition {
+            "link-fault matrix"
+        } else if cfg.resource {
+            "resource-fault matrix"
+        } else {
+            "process-fault matrix"
+        },
         ca.schedules,
         ca.seed,
         cfg.dataset,
@@ -125,6 +132,23 @@ fn run_chaos(ca: &ChaosArgs) {
         }
     }
     let passed = outcomes.iter().filter(|o| o.passed()).count();
+    // Per-invariant pass counts: which guarantee broke, not just how
+    // many seeds did.
+    const INVARIANTS: [&str; 7] = [
+        "termination",
+        "loss-tolerance",
+        "replay-bound",
+        "rejoin-world",
+        "zero-corruption",
+        "breaker-liveness",
+        "resource-degrade",
+    ];
+    print!("invariants:");
+    for (i, name) in INVARIANTS.iter().enumerate() {
+        let ok = outcomes.iter().filter(|o| o.invariant_pass[i]).count();
+        print!(" {name} {ok}/{}", outcomes.len());
+    }
+    println!();
     println!("{passed}/{} schedules passed", outcomes.len());
     if failures > 0 {
         std::process::exit(1);

@@ -21,7 +21,13 @@
 //! 6. liveness under healable partitions: a run whose link faults all
 //!    heal must terminate with baseline-quality loss and zero circuit
 //!    breakers left open against reachable peers
-//!    (`net.breaker.stuck_open` = 0).
+//!    (`net.breaker.stuck_open` = 0);
+//! 7. resource exhaustion degrades, never aborts: a disk-full window
+//!    squeezes retention (`ckpt.enospc`, `ckpt.retention_squeezed`) and
+//!    leaves at least one loadable generation, an injected memory cap is
+//!    never exceeded by the pool high-water mark (`alloc.peak_bytes`),
+//!    and a hung worker is cancelled by the liveness watchdog
+//!    (`watchdog.trips`) and routed through membership recovery.
 //!
 //! Schedules are derived from a single `u64` seed via SplitMix64, so a
 //! failing seed reported by CI or `nts chaos` reproduces exactly.
@@ -36,8 +42,8 @@ use ns_net::fault::{Fault, FaultPlan, MsgSel};
 use ns_net::membership::MembershipEventKind;
 use ns_net::ClusterSpec;
 use ns_runtime::{
-    EngineKind, RecoveryConfig, RecvConfig, RuntimeError, StoreConfig, Trainer, TrainerConfig,
-    TrainingReport,
+    CheckpointStore, EngineKind, RecoveryConfig, RecvConfig, RuntimeError, StoreConfig,
+    Trainer, TrainerConfig, TrainingReport, WatchdogConfig,
 };
 
 /// Fixed workload the soak runs: small enough to execute hundreds of
@@ -69,6 +75,11 @@ pub struct ChaosConfig {
     /// links, no kills) instead of the default crash/noise matrix, and
     /// check the partition-liveness invariant (6).
     pub partition: bool,
+    /// Generate resource-exhaustion schedules (disk-full windows, slow
+    /// disks, memory-pressure caps, hung workers; no kills or wire
+    /// noise) and check the degrade-don't-die invariant (7). Runs with
+    /// the liveness watchdog armed.
+    pub resource: bool,
 }
 
 impl Default for ChaosConfig {
@@ -84,6 +95,7 @@ impl Default for ChaosConfig {
             corrupt: 0.25,
             ckpt_base: None,
             partition: false,
+            resource: false,
         }
     }
 }
@@ -135,7 +147,13 @@ impl ChaosSchedule {
                         let _ = write!(s, "corrupt:ckpt:{p:.2}");
                     }
                 },
-                Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. } => {
+                Fault::Partition { .. }
+                | Fault::AsymPartition { .. }
+                | Fault::Flap { .. }
+                | Fault::DiskFull { .. }
+                | Fault::SlowDisk { .. }
+                | Fault::MemPressure { .. }
+                | Fault::Hang { .. } => {
                     let _ = write!(s, "{}", f.to_spec());
                 }
             }
@@ -179,7 +197,22 @@ impl SplitMix64 {
 /// distinct epoch for a distinct worker, and message-level faults stay
 /// within probabilities the retransmit/dedup machinery absorbs.
 pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
+    generate_with_baseline(seed, cfg, None)
+}
+
+/// [`generate`] with the fault-free baseline available, so resource
+/// schedules can derive a satisfiable memory cap from the measured pool
+/// high-water mark. Without a baseline the resource matrix falls back to
+/// a generous fixed cap.
+pub fn generate_with_baseline(
+    seed: u64,
+    cfg: &ChaosConfig,
+    base: Option<&Baseline>,
+) -> ChaosSchedule {
     let mut rng = SplitMix64(seed ^ 0x6e74_735f_6368_616f); // "nts_chao"
+    if cfg.resource {
+        return generate_resource(&mut rng, seed, cfg, base);
+    }
     if cfg.partition {
         return generate_partition(&mut rng, seed, cfg);
     }
@@ -311,11 +344,66 @@ fn generate_partition(rng: &mut SplitMix64, seed: u64, cfg: &ChaosConfig) -> Cha
     ChaosSchedule { seed, faults, rejoin: true }
 }
 
+/// The resource-exhaustion matrix (`--resource` mode): a disk-full
+/// window covering exactly one interior checkpoint boundary (the final
+/// boundary always saves clean, proving the store recovered), an
+/// optional slow disk, a memory-pressure window whose cap sits 12.5%
+/// above the baseline pool high-water mark (tight enough to trip the
+/// 75% pressure threshold, loose enough that invariant 7's
+/// peak-under-cap bound is satisfiable), and a hung worker for the
+/// liveness watchdog to cancel. No kills and rejoin always on — these
+/// runs must degrade and come back, never abort.
+fn generate_resource(
+    rng: &mut SplitMix64,
+    seed: u64,
+    cfg: &ChaosConfig,
+    base: Option<&Baseline>,
+) -> ChaosSchedule {
+    assert!(cfg.workers >= 2, "a hang needs a survivor");
+    assert!(
+        cfg.epochs > cfg.checkpoint_every + 1,
+        "resource windows need an interior boundary plus a clean final one"
+    );
+    let ck = cfg.checkpoint_every;
+    let mut faults = Vec::new();
+    // Disk faults only matter against a durable store.
+    if cfg.ckpt_base.is_some() {
+        let interior = (cfg.epochs / ck).saturating_sub(1);
+        if interior >= 1 && rng.unit() < 0.7 {
+            let b = ck * (1 + rng.below(interior as u64) as usize);
+            faults.push(Fault::DiskFull { from_epoch: b, heal_epoch: b + 1 });
+        }
+        if rng.unit() < 0.5 {
+            faults.push(Fault::SlowDisk { factor: 1.5 + rng.unit() * 2.5 });
+        }
+    }
+    if rng.unit() < 0.7 {
+        let peak = base.map_or(0, |b| b.peak_bytes);
+        let cap_bytes = if peak > 0 {
+            (peak + peak / 8).max(1) as usize
+        } else {
+            64 << 20
+        };
+        let from_epoch = 1 + rng.below((cfg.epochs - 2) as u64) as usize;
+        let heal_epoch = (from_epoch + 1 + rng.below(2) as usize).min(cfg.epochs);
+        faults.push(Fault::MemPressure { cap_bytes, from_epoch, heal_epoch });
+    }
+    if rng.unit() < 0.6 {
+        let worker = rng.below(cfg.workers as u64) as usize;
+        let epoch = 1 + rng.below((cfg.epochs - 1) as u64) as usize;
+        faults.push(Fault::Hang { worker, epoch });
+    }
+    ChaosSchedule { seed, faults, rejoin: true }
+}
+
 /// The fault-free reference run the invariants compare against.
 #[derive(Debug, Clone)]
 pub struct Baseline {
     /// Final loss of the clean run.
     pub final_loss: f64,
+    /// Tensor-pool high-water mark (bytes) of the clean run — the anchor
+    /// the resource matrix derives satisfiable memory caps from.
+    pub peak_bytes: u64,
 }
 
 /// Outcome of one chaos run: the report's robustness-relevant facts plus
@@ -340,6 +428,10 @@ pub struct ChaosOutcome {
     /// Damaged durable generations skipped during rollback
     /// (`ckpt.fallbacks`).
     pub ckpt_fallbacks: u64,
+    /// Per-invariant verdicts, indexed by invariant number minus one
+    /// (`invariant_pass[6]` is invariant 7). An invariant a schedule
+    /// never exercised passes vacuously.
+    pub invariant_pass: [bool; 7],
     /// Invariant violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -383,6 +475,11 @@ fn train(
     } else {
         RecoveryConfig::every(cfg.checkpoint_every)
     };
+    if cfg.resource {
+        // The resource matrix injects hangs, which only the liveness
+        // watchdog can see. A tight floor keeps 32-seed soaks fast.
+        tc.watchdog = Some(WatchdogConfig { multiplier: 8.0, floor_ms: 200, poll_ms: 2 });
+    }
     if let Some(dir) = store_dir {
         tc.store = StoreConfig::at(dir);
     }
@@ -392,22 +489,39 @@ fn train(
 /// Runs the fault-free reference for `cfg`.
 pub fn baseline(cfg: &ChaosConfig) -> Result<Baseline, String> {
     let (ds, model) = materialize(cfg)?;
+    // Re-arm the pool high-water mark so the measured peak belongs to
+    // this workload, not whatever ran before in the process.
+    ns_tensor::pool::set_cap_bytes(ns_tensor::pool::default_cap_bytes());
     let report = train(cfg, &ds, &model, FaultPlan::default(), false, None)
         .map_err(|e| format!("baseline run failed: {e}"))?;
-    Ok(Baseline { final_loss: report.final_loss() as f64 })
+    let peak_bytes = ns_tensor::pool::stats().peak_bytes;
+    Ok(Baseline { final_loss: report.final_loss() as f64, peak_bytes })
 }
 
-/// Checks the report of a chaos run against the soak invariants.
+/// Checks the report of a chaos run against the soak invariants,
+/// returning the violations and the per-invariant verdicts.
 fn check_invariants(
     cfg: &ChaosConfig,
     schedule: &ChaosSchedule,
     base: &Baseline,
     report: &TrainingReport,
-) -> Vec<String> {
+    durable_loadable: Option<bool>,
+) -> (Vec<String>, [bool; 7]) {
     let mut v = Vec::new();
+    let mut pass = [true; 7];
+    // Indexed by invariant number minus one; a closure would fight the
+    // borrow checker, so each violation site marks its invariant inline.
+    const TERMINATION: usize = 0;
+    const LOSS: usize = 1;
+    const REPLAY: usize = 2;
+    const REJOIN: usize = 3;
+    const CORRUPTION: usize = 4;
+    const LIVENESS: usize = 5;
+    const RESOURCE: usize = 6;
 
     // 1. Termination: every epoch accounted for, finite loss.
     if report.epochs.len() != cfg.epochs {
+        pass[TERMINATION] = false;
         v.push(format!(
             "expected {} epochs, got {}",
             cfg.epochs,
@@ -416,12 +530,14 @@ fn check_invariants(
     }
     let loss = report.final_loss() as f64;
     if !loss.is_finite() {
+        pass[TERMINATION] = false;
         v.push(format!("non-finite final loss {loss}"));
     }
 
     // 2. Loss within tolerance of the fault-free baseline.
     let rel = (loss - base.final_loss).abs() / base.final_loss.abs().max(1e-9);
     if rel > cfg.loss_tolerance {
+        pass[LOSS] = false;
         v.push(format!(
             "final loss {loss:.6} deviates {:.1}% from baseline {:.6} (> {:.1}%)",
             rel * 100.0,
@@ -443,6 +559,7 @@ fn check_invariants(
         .filter(|e| e.kind == MembershipEventKind::Failed)
         .collect();
     if failures.len() != report.recoveries.len() {
+        pass[REPLAY] = false;
         v.push(format!(
             "{} Failed events but {} recoveries",
             failures.len(),
@@ -451,17 +568,20 @@ fn check_invariants(
     }
     for (fail, (worker, rollback_epoch, _)) in failures.iter().zip(&report.recoveries) {
         if fail.worker != *worker {
+            pass[REPLAY] = false;
             v.push(format!(
                 "failure of worker {} recovered as worker {worker}",
                 fail.worker
             ));
         }
         if fail.epoch < *rollback_epoch {
+            pass[REPLAY] = false;
             v.push(format!(
                 "rollback to epoch {rollback_epoch} is after the failure at {}",
                 fail.epoch
             ));
         } else if fail.epoch - rollback_epoch > replay_bound {
+            pass[REPLAY] = false;
             v.push(format!(
                 "restart replays {} epochs (failure at {}, rollback to \
                  {rollback_epoch}); cadence {} with {fallbacks} fallbacks bounds \
@@ -473,6 +593,7 @@ fn check_invariants(
         }
     }
     if report.recoveries.len() > RecoveryConfig::every(cfg.checkpoint_every).max_restarts {
+        pass[REPLAY] = false;
         v.push(format!("{} recoveries exceed the restart budget", report.recoveries.len()));
     }
 
@@ -493,6 +614,7 @@ fn check_invariants(
                     n.kind == MembershipEventKind::Rejoined && n.epoch == e.epoch
                 });
                 if active != cfg.workers && !batch_continues {
+                    pass[REJOIN] = false;
                     v.push(format!(
                         "world has {active}/{} members after worker {} rejoined at \
                          epoch {}",
@@ -520,6 +642,7 @@ fn check_invariants(
             .filter(|e| e.kind == MembershipEventKind::Rejoined)
             .count();
         if rejoined < lost_early {
+            pass[REJOIN] = false;
             v.push(format!(
                 "{lost_early} members lost with a boundary to spare but only \
                  {rejoined} rejoined"
@@ -535,6 +658,7 @@ fn check_invariants(
     let corrupts = report.metrics.total_counter("net.fault.corrupts");
     let crc_fail = report.metrics.total_counter("integrity.crc_fail");
     if corrupts > 0 && crc_fail == 0 {
+        pass[CORRUPTION] = false;
         v.push(format!(
             "{corrupts} corrupt frames injected but zero CRC failures detected"
         ));
@@ -544,6 +668,7 @@ fn check_invariants(
         .iter()
         .any(|f| matches!(f, Fault::CorruptCkpt { .. }));
     if ckpt_corruption_scheduled && fallbacks == 0 {
+        pass[CORRUPTION] = false;
         v.push(
             "checkpoint corruption scheduled but no durable-generation fallback \
              recorded"
@@ -573,13 +698,97 @@ fn check_invariants(
     if has_link_faults && all_heal {
         let stuck = report.metrics.total_counter("net.breaker.stuck_open");
         if stuck > 0 {
+            pass[LIVENESS] = false;
             v.push(format!(
                 "{stuck} circuit breaker(s) left open after their links healed"
             ));
         }
     }
 
-    v
+    // 7. Resource exhaustion degrades, never aborts. Each scheduled
+    // resource fault must leave its proving meter behind: the pool's
+    // high-water mark stays under an enforced memory cap, a disk-full
+    // window forces retention squeezes yet leaves at least one loadable
+    // durable generation, a hung worker trips the watchdog, and a slow
+    // disk shows up as a bounded save penalty rather than a stall.
+    for f in &schedule.faults {
+        match f {
+            Fault::MemPressure { cap_bytes, .. } => {
+                let peak = report
+                    .metrics
+                    .frames
+                    .values()
+                    .filter_map(|fr| fr.histograms.get("alloc.peak_bytes"))
+                    .map(|h| h.max)
+                    .max();
+                match peak {
+                    None => {
+                        pass[RESOURCE] = false;
+                        v.push(
+                            "memory pressure scheduled but no alloc.peak_bytes \
+                             observation recorded"
+                                .to_string(),
+                        );
+                    }
+                    Some(peak) if peak > *cap_bytes as u64 => {
+                        pass[RESOURCE] = false;
+                        v.push(format!(
+                            "pool high-water mark {peak} exceeds the enforced cap of \
+                             {cap_bytes} bytes"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            Fault::DiskFull { .. } => {
+                if report.metrics.total_counter("ckpt.enospc") == 0 {
+                    pass[RESOURCE] = false;
+                    v.push(
+                        "disk-full window scheduled over a checkpoint boundary but \
+                         ckpt.enospc never fired"
+                            .to_string(),
+                    );
+                }
+                if report.metrics.total_counter("ckpt.retention_squeezed") == 0 {
+                    pass[RESOURCE] = false;
+                    v.push(
+                        "disk-full window scheduled but retention was never squeezed"
+                            .to_string(),
+                    );
+                }
+                if durable_loadable != Some(true) {
+                    pass[RESOURCE] = false;
+                    v.push(
+                        "disk-full run left no loadable durable generation".to_string(),
+                    );
+                }
+            }
+            Fault::Hang { .. } => {
+                if report.metrics.total_counter("watchdog.trips") == 0 {
+                    pass[RESOURCE] = false;
+                    v.push(
+                        "hang scheduled but the liveness watchdog never tripped"
+                            .to_string(),
+                    );
+                }
+            }
+            Fault::SlowDisk { .. } => {
+                if cfg.ckpt_base.is_some()
+                    && report.metrics.total_counter("ckpt.slow_disk_penalty_ns") == 0
+                {
+                    pass[RESOURCE] = false;
+                    v.push(
+                        "slow disk scheduled with a durable store but no save penalty \
+                         was metered"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    (v, pass)
 }
 
 /// Runs one seeded schedule and checks the invariants against `base`.
@@ -598,6 +807,9 @@ pub fn run_schedule(
         replans: 0,
         crc_failures: 0,
         ckpt_fallbacks: 0,
+        // A run that never produced a report fails termination; the
+        // other invariants are vacuous without one.
+        invariant_pass: [false, true, true, true, true, true, true],
         violations,
     };
     let (ds, model) = match materialize(cfg) {
@@ -615,12 +827,22 @@ pub fn run_schedule(
         .as_ref()
         .map(|b| b.join(format!("seed-{:08x}", schedule.seed)));
     let result = train(cfg, &ds, &model, plan, schedule.rejoin, store_dir.as_deref());
+    // Probe the durable store *before* tearing the scratch directory
+    // down: invariant 7 demands a disk-full run still leaves at least
+    // one loadable generation behind.
+    let durable_loadable = store_dir.as_ref().map(|dir| {
+        CheckpointStore::open(dir, 1)
+            .ok()
+            .map(|st| st.load_latest().checkpoint.is_some())
+            .unwrap_or(false)
+    });
     if let Some(dir) = &store_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
     match result {
         Ok(report) => {
-            let violations = check_invariants(cfg, schedule, base, &report);
+            let (violations, invariant_pass) =
+                check_invariants(cfg, schedule, base, &report, durable_loadable);
             ChaosOutcome {
                 seed: schedule.seed,
                 schedule: describe,
@@ -630,6 +852,7 @@ pub fn run_schedule(
                 replans: report.replans.len(),
                 crc_failures: report.metrics.total_counter("integrity.crc_fail"),
                 ckpt_fallbacks: report.metrics.total_counter("ckpt.fallbacks"),
+                invariant_pass,
                 violations,
             }
         }
@@ -642,7 +865,13 @@ pub fn run_schedule(
 pub fn soak(cfg: &ChaosConfig, base_seed: u64, count: usize) -> Result<Vec<ChaosOutcome>, String> {
     let base = baseline(cfg)?;
     Ok((0..count as u64)
-        .map(|i| run_schedule(cfg, &base, &generate(base_seed + i, cfg)))
+        .map(|i| {
+            run_schedule(
+                cfg,
+                &base,
+                &generate_with_baseline(base_seed + i, cfg, Some(&base)),
+            )
+        })
         .collect())
 }
 
@@ -711,7 +940,73 @@ mod tests {
                     | Fault::Flap { .. } => {
                         panic!("link faults belong to the --partition matrix")
                     }
+                    Fault::DiskFull { .. }
+                    | Fault::SlowDisk { .. }
+                    | Fault::MemPressure { .. }
+                    | Fault::Hang { .. } => {
+                        panic!("resource faults belong to the --resource matrix")
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn resource_matrix_degrades_within_declared_bounds() {
+        let cfg = ChaosConfig {
+            resource: true,
+            ckpt_base: Some(PathBuf::from("unused-by-generate")),
+            ..ChaosConfig::default()
+        };
+        let ck = cfg.checkpoint_every;
+        let (mut disk_full, mut slow_disk, mut pressure, mut hangs) = (0, 0, 0, 0);
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            assert!(s.rejoin, "resource schedules must always rejoin");
+            assert_eq!(s.describe(), generate(seed, &cfg).describe());
+            for f in &s.faults {
+                match f {
+                    Fault::DiskFull { from_epoch, heal_epoch } => {
+                        disk_full += 1;
+                        // Exactly one interior boundary inside the window,
+                        // so ENOSPC provably fires yet the final boundary
+                        // always saves clean.
+                        assert_eq!(*heal_epoch, from_epoch + 1);
+                        assert_eq!(from_epoch % ck, 0);
+                        assert!(*from_epoch >= ck && *from_epoch < cfg.epochs);
+                    }
+                    Fault::SlowDisk { factor } => {
+                        slow_disk += 1;
+                        assert!((1.5..=4.0).contains(factor));
+                    }
+                    Fault::MemPressure { cap_bytes, from_epoch, heal_epoch } => {
+                        pressure += 1;
+                        assert!(*cap_bytes > 0);
+                        assert!(*from_epoch >= 1 && from_epoch < heal_epoch);
+                        assert!(*heal_epoch <= cfg.epochs);
+                    }
+                    Fault::Hang { worker, epoch } => {
+                        hangs += 1;
+                        assert!(*worker < cfg.workers);
+                        assert!(*epoch >= 1 && *epoch < cfg.epochs);
+                    }
+                    other => panic!("resource matrix generated {other:?}"),
+                }
+            }
+        }
+        assert!(disk_full >= 1, "200 seeds should fill the disk at least once");
+        assert!(slow_disk >= 1 && pressure >= 1 && hangs >= 1);
+    }
+
+    #[test]
+    fn resource_matrix_without_a_store_skips_disk_faults() {
+        let cfg = ChaosConfig { resource: true, ..ChaosConfig::default() };
+        for seed in 0..100 {
+            for f in &generate(seed, &cfg).faults {
+                assert!(
+                    !matches!(f, Fault::DiskFull { .. } | Fault::SlowDisk { .. }),
+                    "disk faults need a durable store, got {f:?}"
+                );
             }
         }
     }

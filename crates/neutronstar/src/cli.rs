@@ -186,6 +186,10 @@ pub struct ChaosArgs {
     /// half-partitions, flaps) instead of the default process-fault
     /// matrix, and check the liveness invariant.
     pub partition: bool,
+    /// Generate resource-exhaustion schedules (disk-full windows, slow
+    /// disks, memory-pressure caps, hung workers) instead of the default
+    /// process-fault matrix, and check the degrade-don't-die invariant.
+    pub resource: bool,
 }
 
 impl Default for ChaosArgs {
@@ -201,6 +205,7 @@ impl Default for ChaosArgs {
             corrupt: 0.25,
             ckpt_dir: None,
             partition: false,
+            resource: false,
         }
     }
 }
@@ -392,6 +397,20 @@ OPTIONS (train/simulate/probe):
                                                      of each period holds
                                                      messages to the next
                                                      up-window
+                            diskfull:e<f>-e<h>       checkpoint saves hit
+                                                     ENOSPC from boundary
+                                                     f until h; retention
+                                                     squeezes, never aborts
+                            slowdisk:<factor>        durable writes take
+                                                     factor x as long
+                            mempressure:<bytes>@e<f>-e<h>
+                                                     tensor-pool budget
+                                                     capped at <bytes> for
+                                                     epochs [f, h)
+                            hang:w<id>@e<epoch>      worker wedges outside
+                                                     the fabric until the
+                                                     liveness watchdog
+                                                     cancels it
                           <kind> is rows|grads|allreduce|control|any;
                           drop/delay/dup/corrupt accept @e<n> and
                           @w<src>-w<dst>; see docs/FAULTS.md for the
@@ -430,6 +449,14 @@ CHAOS OPTIONS (chaos):
                           kills) and check the liveness invariant:
                           every run must terminate with no circuit
                           breaker stuck open against a healed link
+  --resource              generate resource-exhaustion schedules
+                          (disk-full windows, slow disks, memory-
+                          pressure caps, hung workers) and check the
+                          degrade-don't-die invariant: runs finish
+                          within the loss tolerance, the pool high-
+                          water mark respects the cap, a disk-full
+                          run keeps >= 1 loadable generation, and
+                          every hang trips the watchdog
 
 SERVE OPTIONS (serve):
   --ckpt-dir <path>       durable checkpoint store to serve (required);
@@ -755,6 +782,10 @@ fn parse_chaos(args: &[String]) -> Result<Command, String> {
             ca.partition = true;
             continue;
         }
+        if key == "resource" {
+            ca.resource = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -798,6 +829,16 @@ fn parse_chaos(args: &[String]) -> Result<Command, String> {
     }
     if ca.checkpoint_every == 0 || ca.epochs <= ca.checkpoint_every {
         return Err("chaos needs 0 < --checkpoint-every < --epochs".to_string());
+    }
+    if ca.partition && ca.resource {
+        return Err("--partition and --resource are mutually exclusive matrices".to_string());
+    }
+    if ca.resource && ca.epochs <= ca.checkpoint_every + 1 {
+        return Err(
+            "--resource needs --epochs > --checkpoint-every + 1 (a disk-full \
+             window must leave a clean final boundary)"
+                .to_string(),
+        );
     }
     Ok(Command::Chaos(ca))
 }
@@ -975,6 +1016,17 @@ mod tests {
         };
         assert!(ca.partition);
         assert_eq!(ca.schedules, 4);
+        let Command::Chaos(ca) = parse(&args("chaos --resource --schedules 4")).unwrap()
+        else {
+            panic!("expected chaos")
+        };
+        assert!(ca.resource && !ca.partition);
+        assert!(parse(&args("chaos --partition --resource"))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&args("chaos --resource --epochs 3 --checkpoint-every 2"))
+            .unwrap_err()
+            .contains("clean final boundary"));
         assert!(parse(&args("chaos --workers 1")).unwrap_err().contains("workers"));
         assert!(parse(&args("chaos --epochs 2 --checkpoint-every 2"))
             .unwrap_err()

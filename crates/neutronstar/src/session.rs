@@ -4,7 +4,7 @@ use ns_gnn::GnnModel;
 use ns_graph::{Dataset, Partitioner};
 use ns_net::fault::FaultPlan;
 use ns_net::{ClusterSpec, ExecOptions};
-use ns_runtime::exec::{OptimizerKind, RecvConfig, SyncMode};
+use ns_runtime::exec::{OptimizerKind, RecvConfig, SyncMode, WatchdogConfig};
 use ns_runtime::trainer::{SimSummary, Trainer, TrainerConfig};
 use ns_runtime::{
     EngineKind, HybridConfig, RecoveryConfig, RuntimeError, StoreConfig, TrainingReport,
@@ -63,6 +63,7 @@ pub struct SessionBuilder {
     recv: RecvConfig,
     threads: usize,
     store: StoreConfig,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -82,6 +83,7 @@ impl Default for SessionBuilder {
             recv: RecvConfig::default(),
             threads: 0,
             store: StoreConfig::default(),
+            watchdog: None,
         }
     }
 }
@@ -162,6 +164,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Liveness watchdog over worker epoch progress (default: off). A
+    /// worker that stops beating past the learned deadline is cancelled
+    /// and routed through the same eviction/rejoin path as a crash.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
     /// Persist every checkpoint as a CRC-versioned generation under
     /// `dir` (default: memory-only). Rollbacks then read the durable
     /// store and skip damaged generations — the honest process-restart
@@ -209,6 +219,7 @@ impl SessionBuilder {
             recv: self.recv,
             threads: self.threads,
             store: self.store,
+            watchdog: self.watchdog,
         };
         Ok(TrainingSession { trainer: Trainer::prepare(dataset, model, cfg)? })
     }

@@ -68,6 +68,12 @@ fn soak_seed_range_exercises_every_fault_kind() {
                 Fault::Partition { .. } | Fault::AsymPartition { .. } | Fault::Flap { .. } => {
                     panic!("default matrix must not schedule link faults")
                 }
+                Fault::DiskFull { .. }
+                | Fault::SlowDisk { .. }
+                | Fault::MemPressure { .. }
+                | Fault::Hang { .. } => {
+                    panic!("default matrix must not schedule resource faults")
+                }
             }
         }
     }

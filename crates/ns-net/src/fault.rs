@@ -205,6 +205,53 @@ pub enum Fault {
         /// Fraction of each period the link is down, in `[0, 1]`.
         duty: f64,
     },
+    /// The filesystem under the durable checkpoint store reports ENOSPC
+    /// for every write attempted at a boundary epoch in
+    /// `[from_epoch, heal_epoch)`. The store degrades instead of
+    /// aborting: it squeezes retention toward keep-last-1 to free space,
+    /// retries, and if the disk is still full defers the generation to
+    /// the next cadence (`ckpt.enospc` / `ckpt.retention_squeezed`
+    /// meter the degradation).
+    DiskFull {
+        /// First boundary epoch with the disk full (inclusive).
+        from_epoch: usize,
+        /// Boundary epoch at which space returns (exclusive).
+        heal_epoch: usize,
+    },
+    /// Every durable-store write takes `factor` times as long — a
+    /// saturated or throttled device. Pure latency: no write fails, but
+    /// the inflated fsync time is metered (`ckpt.slow_disk_penalty_ns`)
+    /// and visible in checkpoint-phase spans.
+    SlowDisk {
+        /// fsync-time multiplier (must be >= 1).
+        factor: f64,
+    },
+    /// The tensor-pool budget shrinks to `cap_bytes` for epochs in
+    /// `[from_epoch, heal_epoch)` — a co-tenant eating the machine's
+    /// memory. The pool sheds parked buffers, the executor switches to
+    /// the in-place all-reduce, and the serve cache drops cold rows to
+    /// stay under the cap instead of OOMing; `alloc.peak_bytes` proves
+    /// the budget held.
+    MemPressure {
+        /// Enforced pool budget while the pressure window is active.
+        cap_bytes: usize,
+        /// First epoch under pressure (inclusive).
+        from_epoch: usize,
+        /// Epoch at which the budget is restored (exclusive).
+        heal_epoch: usize,
+    },
+    /// Worker `worker` wedges at the top of epoch `epoch` — stuck in
+    /// compute or a syscall *outside* the fabric, where recv timeouts
+    /// and circuit breakers cannot see it. It stays stuck until the
+    /// liveness watchdog trips and cancels it (the injected hang polls
+    /// the watchdog's cancel flag, standing in for a supervisor
+    /// SIGKILL).
+    Hang {
+        /// Worker that wedges.
+        worker: usize,
+        /// Epoch at which it wedges, counted from the start of the run.
+        epoch: usize,
+    },
 }
 
 impl Fault {
@@ -262,6 +309,14 @@ impl Fault {
             Fault::Flap { a, b, period_ms, duty } => {
                 format!("flap:w{a}-w{b}:{period_ms}ms:{duty}")
             }
+            Fault::DiskFull { from_epoch, heal_epoch } => {
+                format!("diskfull:e{from_epoch}-e{heal_epoch}")
+            }
+            Fault::SlowDisk { factor } => format!("slowdisk:{factor}"),
+            Fault::MemPressure { cap_bytes, from_epoch, heal_epoch } => {
+                format!("mempressure:{cap_bytes}@e{from_epoch}-e{heal_epoch}")
+            }
+            Fault::Hang { worker, epoch } => format!("hang:w{worker}@e{epoch}"),
         }
     }
 }
@@ -380,6 +435,14 @@ impl FaultPlan {
     /// * `partition:w<src>->w<dst>@e<from>-e<heal>` — sever one direction,
     /// * `flap:w<a>-w<b>:<period>ms:<duty>` — oscillate the link: down for
     ///   the first `duty` fraction of every `period` window,
+    /// * `diskfull:e<from>-e<heal>` — the durable store's disk reports
+    ///   ENOSPC for boundary epochs in `[from, heal)`,
+    /// * `slowdisk:<factor>` — every durable-store write takes `factor`
+    ///   times as long (`factor >= 1`),
+    /// * `mempressure:<bytes>@e<from>-e<heal>` — shrink the tensor-pool
+    ///   budget to `<bytes>` for epochs in `[from, heal)`,
+    /// * `hang:w<id>@e<epoch>` — wedge a worker outside the fabric until
+    ///   the liveness watchdog cancels it,
     ///
     /// where `<kind>` is `rows|grads|allreduce|control|any`.
     pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
@@ -462,6 +525,12 @@ impl FaultPlan {
                     }
                 }
                 Fault::CorruptCkpt { .. } => {}
+                // Resource faults act on the store, the pool, and the
+                // worker loop — never on a message in flight.
+                Fault::DiskFull { .. }
+                | Fault::SlowDisk { .. }
+                | Fault::MemPressure { .. }
+                | Fault::Hang { .. } => {}
                 Fault::Partition { a, b, from_epoch, heal_epoch } => {
                     let on_link = (src == *a && dst == *b) || (src == *b && dst == *a);
                     if on_link && epoch >= *from_epoch && epoch < *heal_epoch {
@@ -557,6 +626,74 @@ impl FaultPlan {
             Fault::AsymPartition { src, dst, .. } => *src != worker && *dst != worker,
             _ => true,
         });
+    }
+
+    /// The epoch at which `worker` is scheduled to wedge, if any.
+    pub fn hang_epoch(&self, worker: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Hang { worker: w, epoch } if *w == worker => Some(*epoch),
+            _ => None,
+        })
+    }
+
+    /// Removes a hang that has already fired (the watchdog evicted the
+    /// wedged worker), so the slot's replacement does not re-wedge.
+    pub fn retire_hang(&mut self, worker: usize, epoch: usize) {
+        self.faults.retain(
+            |f| !matches!(f, Fault::Hang { worker: w, epoch: e } if *w == worker && *e == epoch),
+        );
+    }
+
+    /// True when the durable store's disk is full at boundary `epoch`
+    /// (an active [`Fault::DiskFull`] window).
+    pub fn disk_full_at(&self, epoch: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::DiskFull { from_epoch, heal_epoch }
+                if epoch >= *from_epoch && epoch < *heal_epoch)
+        })
+    }
+
+    /// The combined store-write slowdown factor (product of every
+    /// [`Fault::SlowDisk`] in the plan; `1.0` when none is injected).
+    pub fn slow_disk_factor(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SlowDisk { factor } => Some(*factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The enforced tensor-pool budget at `epoch`, if a
+    /// [`Fault::MemPressure`] window is active (the tightest cap wins
+    /// when windows overlap).
+    pub fn mem_cap_at(&self, epoch: usize) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MemPressure { cap_bytes, from_epoch, heal_epoch }
+                    if epoch >= *from_epoch && epoch < *heal_epoch =>
+                {
+                    Some(*cap_bytes)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// True when the plan contains any resource fault (disk-full, slow
+    /// disk, memory pressure, or hang).
+    pub fn has_resource_faults(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::DiskFull { .. }
+                    | Fault::SlowDisk { .. }
+                    | Fault::MemPressure { .. }
+                    | Fault::Hang { .. }
+            )
+        })
     }
 
     /// Decides whether the checkpoint generation persisted at boundary
@@ -763,9 +900,59 @@ pub fn parse_fault(spec: &str) -> Result<Fault, String> {
             }
             Ok(Fault::Flap { a, b, period_ms, duty })
         }
+        "diskfull" => {
+            let (from_s, heal_s) = rest.split_once('-').ok_or_else(|| {
+                format!("diskfull spec {rest:?}: expected e<from>-e<heal>")
+            })?;
+            let (from_epoch, heal_epoch) = (parse_epoch(from_s)?, parse_epoch(heal_s)?);
+            if heal_epoch <= from_epoch {
+                return Err(format!(
+                    "diskfull window e{from_epoch}-e{heal_epoch}: heal epoch must \
+                     come after the start"
+                ));
+            }
+            Ok(Fault::DiskFull { from_epoch, heal_epoch })
+        }
+        "slowdisk" => {
+            let factor: f64 =
+                rest.parse().map_err(|_| format!("bad slowdisk factor {rest:?}"))?;
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(format!("slowdisk factor {factor} must be >= 1"));
+            }
+            Ok(Fault::SlowDisk { factor })
+        }
+        "mempressure" => {
+            let (bytes_s, epochs) = rest.split_once('@').ok_or_else(|| {
+                format!("mempressure spec {rest:?}: expected <bytes>@e<from>-e<heal>")
+            })?;
+            let cap_bytes: usize = bytes_s
+                .parse()
+                .map_err(|_| format!("bad mempressure byte budget {bytes_s:?}"))?;
+            if cap_bytes == 0 {
+                return Err("mempressure budget must be > 0 bytes".to_string());
+            }
+            let (from_s, heal_s) = epochs.split_once('-').ok_or_else(|| {
+                format!("mempressure epochs {epochs:?}: expected e<from>-e<heal>")
+            })?;
+            let (from_epoch, heal_epoch) = (parse_epoch(from_s)?, parse_epoch(heal_s)?);
+            if heal_epoch <= from_epoch {
+                return Err(format!(
+                    "mempressure window e{from_epoch}-e{heal_epoch}: heal epoch must \
+                     come after the start"
+                ));
+            }
+            Ok(Fault::MemPressure { cap_bytes, from_epoch, heal_epoch })
+        }
+        "hang" => {
+            let (w, e) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("hang spec {rest:?}: expected w<id>@e<epoch>"))?;
+            Ok(Fault::Hang { worker: parse_worker(w)?, epoch: parse_epoch(e)? })
+        }
         other => Err(format!(
             "unknown fault type {other:?} \
-             (kill|straggle|drop|delay|dup|corrupt|partition|flap)"
+             (kill|straggle|drop|delay|dup|corrupt|partition|flap\
+             |diskfull|slowdisk|mempressure|hang)"
         )),
     }
 }
@@ -977,6 +1164,10 @@ mod tests {
             Fault::Partition { a: 1, b: 2, from_epoch: 2, heal_epoch: 4 },
             Fault::AsymPartition { src: 0, dst: 3, from_epoch: 1, heal_epoch: 5 },
             Fault::Flap { a: 0, b: 1, period_ms: 40, duty: 0.6 },
+            Fault::DiskFull { from_epoch: 2, heal_epoch: 6 },
+            Fault::SlowDisk { factor: 2.5 },
+            Fault::MemPressure { cap_bytes: 1 << 20, from_epoch: 1, heal_epoch: 4 },
+            Fault::Hang { worker: 1, epoch: 3 },
         ];
         for f in faults {
             let spec = f.to_spec();
@@ -1140,6 +1331,89 @@ mod tests {
         assert_eq!(plan.ckpt_fate(4), Some(hit), "bit draw must be deterministic");
         assert_eq!(plan.ckpt_fate(2), None, "other boundaries untouched");
         assert_eq!(FaultPlan::default().ckpt_fate(4), None);
+    }
+
+    #[test]
+    fn parses_resource_specs() {
+        assert_eq!(
+            parse_fault("diskfull:e2-e4").unwrap(),
+            Fault::DiskFull { from_epoch: 2, heal_epoch: 4 }
+        );
+        assert_eq!(parse_fault("slowdisk:3").unwrap(), Fault::SlowDisk { factor: 3.0 });
+        assert_eq!(
+            parse_fault("mempressure:1048576@e1-e5").unwrap(),
+            Fault::MemPressure { cap_bytes: 1 << 20, from_epoch: 1, heal_epoch: 5 }
+        );
+        assert_eq!(
+            parse_fault("hang:w1@e3").unwrap(),
+            Fault::Hang { worker: 1, epoch: 3 }
+        );
+        assert!(parse_fault("diskfull:e4-e2").unwrap_err().contains("heal"));
+        assert!(parse_fault("slowdisk:0.5").unwrap_err().contains(">= 1"));
+        assert!(parse_fault("mempressure:0@e1-e2").unwrap_err().contains("> 0"));
+        assert!(parse_fault("mempressure:4096").unwrap_err().contains("expected"));
+        assert!(parse_fault("hang:w1").unwrap_err().contains("w<id>@e<epoch>"));
+    }
+
+    #[test]
+    fn resource_faults_never_touch_message_fates() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::DiskFull { from_epoch: 0, heal_epoch: 9 })
+            .with_fault(Fault::SlowDisk { factor: 4.0 })
+            .with_fault(Fault::MemPressure {
+                cap_bytes: 4096,
+                from_epoch: 0,
+                heal_epoch: 9,
+            })
+            .with_fault(Fault::Hang { worker: 1, epoch: 3 });
+        let kind = MessageKind::Control(1.0);
+        for epoch in 0..6 {
+            assert_eq!(plan.send_fate(epoch, 0, 1, Some(&kind), 1), SendFate::default());
+        }
+        assert!(!plan.has_link_faults());
+        assert!(plan.has_resource_faults());
+    }
+
+    #[test]
+    fn disk_and_mem_windows_scope_by_epoch() {
+        let plan = FaultPlan::default()
+            .with_fault(Fault::DiskFull { from_epoch: 2, heal_epoch: 4 })
+            .with_fault(Fault::MemPressure {
+                cap_bytes: 8192,
+                from_epoch: 1,
+                heal_epoch: 3,
+            })
+            .with_fault(Fault::MemPressure {
+                cap_bytes: 4096,
+                from_epoch: 2,
+                heal_epoch: 5,
+            });
+        assert!(!plan.disk_full_at(1));
+        assert!(plan.disk_full_at(2) && plan.disk_full_at(3));
+        assert!(!plan.disk_full_at(4));
+        assert_eq!(plan.mem_cap_at(0), None);
+        assert_eq!(plan.mem_cap_at(1), Some(8192));
+        assert_eq!(plan.mem_cap_at(2), Some(4096), "tightest overlapping cap wins");
+        assert_eq!(plan.mem_cap_at(4), Some(4096));
+        assert_eq!(plan.mem_cap_at(5), None);
+        assert_eq!(plan.slow_disk_factor(), 1.0, "no slowdisk fault: unit factor");
+        let slow = FaultPlan::default()
+            .with_fault(Fault::SlowDisk { factor: 2.0 })
+            .with_fault(Fault::SlowDisk { factor: 3.0 });
+        assert_eq!(slow.slow_disk_factor(), 6.0, "factors compose");
+    }
+
+    #[test]
+    fn retire_hang_removes_only_the_fired_hang() {
+        let mut plan = FaultPlan::default()
+            .with_fault(Fault::Hang { worker: 1, epoch: 2 })
+            .with_fault(Fault::Hang { worker: 1, epoch: 5 });
+        assert_eq!(plan.hang_epoch(1), Some(2));
+        assert_eq!(plan.hang_epoch(0), None);
+        plan.retire_hang(1, 2);
+        assert_eq!(plan.hang_epoch(1), Some(5));
+        plan.retire_hang(1, 5);
+        assert!(plan.is_empty());
     }
 
     #[test]

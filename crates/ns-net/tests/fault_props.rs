@@ -80,6 +80,20 @@ fn arb_fault() -> impl Strategy<Value = Fault> {
                 duty,
             }
         ),
+        (0usize..32, 1usize..32).prop_map(|(from_epoch, span)| Fault::DiskFull {
+            from_epoch,
+            heal_epoch: from_epoch + span,
+        }),
+        (1.0f64..64.0).prop_map(|factor| Fault::SlowDisk { factor }),
+        (1usize..1 << 30, 0usize..32, 1usize..32).prop_map(
+            |(cap_bytes, from_epoch, span)| Fault::MemPressure {
+                cap_bytes,
+                from_epoch,
+                heal_epoch: from_epoch + span,
+            }
+        ),
+        (0usize..16, 0usize..64)
+            .prop_map(|(worker, epoch)| Fault::Hang { worker, epoch }),
     ]
 }
 

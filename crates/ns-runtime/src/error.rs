@@ -14,6 +14,10 @@ pub enum FailureCause {
     /// The divergence guard tripped: the worker observed a non-finite
     /// loss or gradient before the optimizer step.
     Diverged,
+    /// The liveness watchdog cancelled the worker: it stopped making
+    /// phase progress past the armed deadline while holding no fabric
+    /// operation a recv timeout or breaker could see.
+    Hung,
 }
 
 impl std::fmt::Display for FailureCause {
@@ -22,6 +26,7 @@ impl std::fmt::Display for FailureCause {
             FailureCause::Killed => write!(f, "worker crashed"),
             FailureCause::Net(e) => write!(f, "{e}"),
             FailureCause::Diverged => write!(f, "non-finite loss or gradient"),
+            FailureCause::Hung => write!(f, "worker hung past the watchdog deadline"),
         }
     }
 }

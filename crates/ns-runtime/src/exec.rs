@@ -23,6 +23,7 @@
 //! [`RunState`].
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -136,6 +137,114 @@ impl Default for RecvConfig {
     }
 }
 
+/// Liveness watchdog policy: a per-run supervisor thread that detects a
+/// worker which stopped making epoch progress while holding no fabric
+/// operation — the blind spot of receive timeouts and circuit breakers
+/// (nothing is waiting *on* the stuck thread's socket, so no deadline
+/// fires). The deadline is armed from the observed worst epoch span
+/// times `multiplier`, never below `floor_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Deadline multiplier over the observed worst (p99-equivalent at
+    /// per-run sample counts) epoch span.
+    pub multiplier: f64,
+    /// Minimum armed deadline, milliseconds — covers the first epoch,
+    /// before any span has been observed.
+    pub floor_ms: u64,
+    /// Supervisor sampling period, milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { multiplier: 8.0, floor_ms: 250, poll_ms: 5 }
+    }
+}
+
+/// Shared watchdog state: per-worker heartbeats (stamped at each epoch
+/// top), per-worker cancel flags, and the trip counter. Lives on the
+/// coordinator's stack; workers and the supervisor thread borrow it
+/// through the crossbeam scope.
+pub(crate) struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Per-worker last-heartbeat time, ms since `t0`, offset by +1 so 0
+    /// can mean "not started". `u64::MAX` = worker exited.
+    beats: Vec<AtomicU64>,
+    cancel: Vec<AtomicBool>,
+    trips: AtomicU64,
+    done: AtomicBool,
+    t0: Instant,
+}
+
+impl Watchdog {
+    fn new(world: usize, cfg: WatchdogConfig) -> Self {
+        Self {
+            cfg,
+            beats: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            cancel: (0..world).map(|_| AtomicBool::new(false)).collect(),
+            trips: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            t0: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    fn beat(&self, worker: usize) {
+        self.beats[worker].store(self.now_ms() + 1, Ordering::Release);
+    }
+
+    fn finish(&self, worker: usize) {
+        self.beats[worker].store(u64::MAX, Ordering::Release);
+    }
+
+    fn cancelled(&self, worker: usize) -> bool {
+        self.cancel[worker].load(Ordering::Acquire)
+    }
+
+    fn shutdown(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// The supervisor loop. A cancel flag is only *actionable* for a
+    /// worker stuck outside the fabric (the injected-hang loop polls
+    /// it); a worker merely blocked in a long receive ignores it — the
+    /// receive budget already bounds that case, so a spurious trip
+    /// cannot kill a healthy-but-waiting worker.
+    fn run(&self) {
+        let n = self.beats.len();
+        let mut last = vec![0u64; n];
+        let mut tripped = vec![false; n];
+        // Worst completed epoch span observed across all workers, ms.
+        let mut worst_span = 0u64;
+        while !self.done.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(self.cfg.poll_ms.max(1)));
+            let now = self.now_ms();
+            let deadline = (worst_span as f64 * self.cfg.multiplier) as u64;
+            let deadline = deadline.max(self.cfg.floor_ms);
+            for w in 0..n {
+                let b = self.beats[w].load(Ordering::Acquire);
+                if b == 0 || b == u64::MAX {
+                    last[w] = b;
+                    continue;
+                }
+                if last[w] != 0 && last[w] != u64::MAX && b > last[w] {
+                    worst_span = worst_span.max(b - last[w]);
+                }
+                last[w] = b;
+                let stalled = now.saturating_sub(b - 1);
+                if stalled > deadline && !tripped[w] {
+                    tripped[w] = true;
+                    self.cancel[w].store(true, Ordering::Release);
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 /// Cross-chunk execution state for fault-tolerant runs: where the run
 /// starts (after a checkpoint restore), the parameters and optimizer
 /// state to resume from, the fault plan to inject, and the receive
@@ -158,6 +267,8 @@ pub struct RunState {
     /// through every chunk so the spans of a run that rolled back and
     /// resumed all land on a single timeline.
     pub origin: Option<Instant>,
+    /// Liveness watchdog policy (`None` = no supervisor thread).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 /// Numeric results of one epoch, aggregated over workers.
@@ -424,29 +535,86 @@ fn recv_retry(
     res
 }
 
+/// Copies the virtual-flat range `[lo, hi)` of the concatenated gradient
+/// tensors into a pooled buffer, without materializing the full flat
+/// vector — the memory-pressure substitute for slicing a staged copy.
+fn gather_range(grads: &[Tensor], lo: usize, hi: usize) -> Vec<f32> {
+    let mut out = ns_tensor::pool::take_scratch(hi - lo);
+    let mut filled = 0;
+    let mut base = 0;
+    for g in grads {
+        let s = lo.max(base);
+        let e = hi.min(base + g.len());
+        if s < e {
+            out[filled..filled + (e - s)].copy_from_slice(&g.data()[s - base..e - base]);
+            filled += e - s;
+        }
+        base += g.len();
+    }
+    out
+}
+
+/// Writes (`add == false`) or accumulates (`add == true`) `data` into
+/// the virtual-flat range starting at `lo`, element-for-element the same
+/// operation the staged-copy path performs on its flat buffer.
+fn apply_range(grads: &mut [Tensor], lo: usize, data: &[f32], add: bool) {
+    let hi = lo + data.len();
+    let mut base = 0;
+    for g in grads.iter_mut() {
+        let glen = g.len();
+        let s = lo.max(base);
+        let e = hi.min(base + glen);
+        if s < e {
+            let dst = &mut g.data_mut()[s - base..e - base];
+            let src = &data[s - lo..e - lo];
+            if add {
+                for (d, v) in dst.iter_mut().zip(src) {
+                    *d += v;
+                }
+            } else {
+                dst.copy_from_slice(src);
+            }
+        }
+        base += glen;
+    }
+}
+
 /// Ring all-reduce over the flattened parameter gradients. All workers
 /// return identical sums (deterministic chunk-wise accumulation order).
+///
+/// Under memory pressure ([`ns_tensor::pool::under_pressure`]) the flat
+/// staging copy is skipped and every chunk is gathered from / applied to
+/// the gradient tensors in place. Wire messages and the element-wise
+/// accumulation order are bit-identical to the staged path, so each
+/// worker chooses independently without breaking the protocol or
+/// determinism.
 fn ring_allreduce(
     ep: &Endpoint,
     ctx: &RecvCtx<'_>,
     grads: &mut [Tensor],
-) -> std::result::Result<(), NetError> {
+) -> std::result::Result<bool, NetError> {
     let m = ep.world();
     if m == 1 {
-        return Ok(());
+        return Ok(false);
     }
     let me = ep.id();
     let right = (me + 1) % m;
     let left = (me + m - 1) % m;
+    let n: usize = grads.iter().map(Tensor::len).sum();
+    let low_mem = ns_tensor::pool::under_pressure();
     // Flatten into a pooled buffer (same length every epoch, so after the
     // first epoch this take is always served from the free list).
-    let n: usize = grads.iter().map(Tensor::len).sum();
-    let mut flat = ns_tensor::pool::take_scratch(n);
-    let mut off = 0;
-    for g in grads.iter() {
-        flat[off..off + g.len()].copy_from_slice(g.data());
-        off += g.len();
-    }
+    let mut flat = if low_mem {
+        Vec::new()
+    } else {
+        let mut f = ns_tensor::pool::take_scratch(n);
+        let mut off = 0;
+        for g in grads.iter() {
+            f[off..off + g.len()].copy_from_slice(g.data());
+            off += g.len();
+        }
+        f
+    };
     let chunk_bounds: Vec<(usize, usize)> = (0..m)
         .map(|c| {
             let lo = c * n / m;
@@ -456,26 +624,37 @@ fn ring_allreduce(
         .collect();
     // Outgoing chunk copies are pooled too; the peer that receives one
     // recycles it after accumulating (below), closing the loop.
-    let slice = |flat: &[f32], c: usize| {
+    let chunk_of = |grads: &[Tensor], flat: &[f32], c: usize| {
         let (lo, hi) = chunk_bounds[c];
-        let mut s = ns_tensor::pool::take_scratch(hi - lo);
-        s.copy_from_slice(&flat[lo..hi]);
-        s
+        if low_mem {
+            gather_range(grads, lo, hi)
+        } else {
+            let mut s = ns_tensor::pool::take_scratch(hi - lo);
+            s.copy_from_slice(&flat[lo..hi]);
+            s
+        }
     };
 
     // Reduce-scatter.
     for s in 0..m - 1 {
         let send_c = (me + m - s) % m;
         let recv_c = (me + m - s - 1) % m;
-        ep.send(right, MessageKind::AllReduce { round: s as u32, data: slice(&flat, send_c) })?;
+        ep.send(
+            right,
+            MessageKind::AllReduce { round: s as u32, data: chunk_of(grads, &flat, send_c) },
+        )?;
         let msg = recv_retry(ep, left, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
         };
         let (lo, hi) = chunk_bounds[recv_c];
-        for (dst, src) in flat[lo..hi].iter_mut().zip(data.iter()) {
-            *dst += src;
+        if low_mem {
+            apply_range(grads, lo, &data, true);
+        } else {
+            for (dst, src) in flat[lo..hi].iter_mut().zip(data.iter()) {
+                *dst += src;
+            }
         }
         ns_tensor::pool::recycle(data);
     }
@@ -485,26 +664,35 @@ fn ring_allreduce(
         let recv_c = (me + m - s) % m;
         ep.send(
             right,
-            MessageKind::AllReduce { round: (m - 1 + s) as u32, data: slice(&flat, send_c) },
+            MessageKind::AllReduce {
+                round: (m - 1 + s) as u32,
+                data: chunk_of(grads, &flat, send_c),
+            },
         )?;
         let msg = recv_retry(ep, left, ctx)?;
         let got = msg.kind.name();
         let MessageKind::AllReduce { data, .. } = msg.kind else {
             return Err(NetError::UnexpectedKind { peer: left, expected: "AllReduce", got });
         };
-        let (lo, hi) = chunk_bounds[recv_c];
-        flat[lo..hi].copy_from_slice(&data);
+        let (lo, _hi) = chunk_bounds[recv_c];
+        if low_mem {
+            apply_range(grads, lo, &data, false);
+        } else {
+            flat[lo.._hi].copy_from_slice(&data);
+        }
         ns_tensor::pool::recycle(data);
     }
-    // Unflatten.
-    let mut off = 0;
-    for g in grads.iter_mut() {
-        let len = g.len();
-        g.data_mut().copy_from_slice(&flat[off..off + len]);
-        off += len;
+    if !low_mem {
+        // Unflatten.
+        let mut off = 0;
+        for g in grads.iter_mut() {
+            let len = g.len();
+            g.data_mut().copy_from_slice(&flat[off..off + len]);
+            off += len;
+        }
+        ns_tensor::pool::recycle(flat);
     }
-    ns_tensor::pool::recycle(flat);
-    Ok(())
+    Ok(low_mem)
 }
 
 /// Parameter-server gradient combination: every worker pushes its full
@@ -629,6 +817,7 @@ fn worker_loop(
     cfg: &ExecConfig,
     run: &RunState,
     origin: Instant,
+    wd: Option<&Watchdog>,
     tx: mpsc::Sender<(usize, usize, WorkerReport)>,
 ) -> (
     std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure>,
@@ -636,7 +825,10 @@ fn worker_loop(
 ) {
     let rec = MetricsRecorder::new(ep.id(), origin);
     let ctx = RecvCtx::new(&ep, run, &rec, &run.recv);
-    let res = worker_body(plan, model, dataset, &ep, epochs, cfg, run, &ctx, &rec, tx);
+    let res = worker_body(plan, model, dataset, &ep, epochs, cfg, run, &ctx, &rec, wd, tx);
+    if let Some(wd) = wd {
+        wd.finish(ep.id());
+    }
     ctx.export(&ep, &run.fault);
     export_net_stats(&rec, &ep.stats());
     drop(ep);
@@ -656,6 +848,7 @@ fn worker_body(
     run: &RunState,
     ctx: &RecvCtx<'_>,
     rec: &MetricsRecorder,
+    wd: Option<&Watchdog>,
     tx: mpsc::Sender<(usize, usize, WorkerReport)>, // (epoch, worker, report)
 ) -> std::result::Result<(ParamStore, Option<AdamState>), WorkerFailure> {
     let m = ep.world();
@@ -704,6 +897,9 @@ fn worker_body(
         let abs_epoch = run.epoch_offset + epoch;
         ep.set_epoch(abs_epoch);
         rec.set_epoch(abs_epoch as u32);
+        if let Some(wd) = wd {
+            wd.beat(me);
+        }
         if run.fault.kill_epoch(me) == Some(abs_epoch) {
             // Injected crash: return without sending anything this epoch.
             // Dropping the endpoint disconnects every peer channel.
@@ -711,6 +907,29 @@ fn worker_body(
                 worker: me,
                 epoch: abs_epoch,
                 cause: FailureCause::Killed,
+                in_sync: false,
+            });
+        }
+        if run.fault.hang_epoch(me) == Some(abs_epoch) {
+            // Injected hang: wedge outside the fabric (no send, no recv)
+            // so only the watchdog can see it. The cancel flag stands in
+            // for the supervisor's SIGKILL; the hard cap keeps
+            // watchdog-disabled runs from wedging forever (their peers'
+            // receive budgets fail first).
+            const HANG_HARD_CAP: Duration = Duration::from_secs(10);
+            let stuck_at = Instant::now();
+            loop {
+                if wd.map_or(false, |wd| wd.cancelled(me))
+                    || stuck_at.elapsed() >= HANG_HARD_CAP
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            return Err(WorkerFailure {
+                worker: me,
+                epoch: abs_epoch,
+                cause: FailureCause::Hung,
                 in_sync: false,
             });
         }
@@ -894,11 +1113,14 @@ fn worker_body(
         // ---- parameter update ----
         {
             let _sync = span!(rec, Phase::SyncWait);
-            match cfg.sync {
+            let low_mem = match cfg.sync {
                 SyncMode::AllReduce => ring_allreduce(ep, ctx, &mut grads),
-                SyncMode::ParameterServer => ps_reduce(ep, ctx, &mut grads),
+                SyncMode::ParameterServer => ps_reduce(ep, ctx, &mut grads).map(|()| false),
             }
             .map_err(|e| fail(abs_epoch, true, e))?;
+            if low_mem {
+                rec.incr("alloc.sync_low_mem", 1);
+            }
         }
         // Divergence guard: a non-finite loss or gradient must never reach
         // the optimizer step, where it would poison the parameters of every
@@ -931,6 +1153,8 @@ fn worker_body(
             rec.incr("alloc.fresh_bytes", now.fresh_bytes - pool_base.fresh_bytes);
             rec.incr("alloc.reused", now.reused - pool_base.reused);
             rec.incr("alloc.recycled", now.recycled - pool_base.recycled);
+            rec.incr("alloc.shed", now.shed - pool_base.shed);
+            rec.incr("alloc.shed_bytes", now.shed_bytes - pool_base.shed_bytes);
             pool_base = now;
         }
 
@@ -1008,13 +1232,16 @@ pub fn train_epochs_run(
     let (tx, rx) = mpsc::channel();
     let origin = run.origin.unwrap_or_else(Instant::now);
     let t_run = Instant::now();
+    let watchdog = run.watchdog.map(|wcfg| Watchdog::new(m, wcfg));
 
     crossbeam::thread::scope(|s| {
+        let wd = watchdog.as_ref();
+        let supervisor = wd.map(|wd| s.spawn(move |_| wd.run()));
         let mut handles = Vec::new();
         for (plan, ep) in plans.iter().zip(endpoints) {
             let tx = tx.clone();
             handles.push(s.spawn(move |_| {
-                worker_loop(plan, model, dataset, ep, epochs, cfg, run, origin, tx)
+                worker_loop(plan, model, dataset, ep, epochs, cfg, run, origin, wd, tx)
             }));
         }
         drop(tx);
@@ -1024,6 +1251,14 @@ pub fn train_epochs_run(
         let mut per_epoch: Vec<Vec<WorkerReport>> = (0..epochs).map(|_| Vec::new()).collect();
         while let Ok((epoch, _worker, report)) = rx.recv() {
             per_epoch[epoch].push(report);
+        }
+        // Every worker has returned (the channel only closes when the last
+        // sender drops), so the supervisor has nothing left to watch.
+        if let Some(wd) = wd {
+            wd.shutdown();
+        }
+        if let Some(h) = supervisor {
+            h.join().expect("watchdog thread panicked");
         }
         // Join everyone and split results from failures.
         let mut results = Vec::new();
@@ -1398,6 +1633,72 @@ mod tests {
         }
         for ((_, _, a), (_, _, b)) in full_store.iter().zip(tail_store.iter()) {
             assert_eq!(a.max_abs_diff(b), 0.0, "chunked run must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_a_hung_worker() {
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let run = RunState {
+            fault: FaultPlan::default().with_fault(Fault::Hang { worker: 1, epoch: 1 }),
+            watchdog: Some(WatchdogConfig { multiplier: 4.0, floor_ms: 100, poll_ms: 2 }),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let err = train_epochs_run(&ds, &model, &plans, 3, &ExecConfig::default(), &run)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::WorkerFailed {
+                    worker: 1,
+                    epoch: 1,
+                    cause: FailureCause::Hung,
+                }
+            ),
+            "unexpected error: {err:?}"
+        );
+        // The watchdog cancel, not the 10 s hang hard-cap, must be what
+        // released the wedged worker.
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "hang was released by the hard cap, not the watchdog"
+        );
+    }
+
+    #[test]
+    fn low_memory_allreduce_matches_the_staged_path() {
+        let _pool = crate::pool_test_guard();
+        let ds = small_dataset();
+        let plans = plans_for(&ds, 2);
+        let model =
+            GnnModel::two_layer(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, 3);
+        let cfg = ExecConfig::default();
+        let clean = train_epochs(&ds, &model, &plans, 2, &cfg).unwrap();
+        // Shrink the pool budget until it reads as under pressure; every
+        // worker flips to the in-place all-reduce path.
+        let old = ns_tensor::pool::stats().cap_bytes as usize;
+        ns_tensor::pool::set_cap_bytes(1);
+        assert!(ns_tensor::pool::under_pressure());
+        let squeezed = train_epochs(&ds, &model, &plans, 2, &cfg);
+        ns_tensor::pool::set_cap_bytes(if old == 0 {
+            ns_tensor::pool::default_cap_bytes()
+        } else {
+            old
+        });
+        let squeezed = squeezed.unwrap();
+        for (a, b) in clean.0.iter().zip(squeezed.0.iter()) {
+            assert!((a.loss - b.loss).abs() < 1e-12, "{} vs {}", a.loss, b.loss);
+        }
+        for ((_, _, a), (_, _, b)) in clean.1.iter().zip(squeezed.1.iter()) {
+            assert_eq!(
+                a.max_abs_diff(b),
+                0.0,
+                "in-place all-reduce must be bit-identical to the staged path"
+            );
         }
     }
 }

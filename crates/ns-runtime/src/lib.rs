@@ -47,7 +47,7 @@ pub mod trainer;
 
 pub use cost::{parallel_speedup, probe_threaded, CostFactors};
 pub use error::{FailureCause, RuntimeError};
-pub use exec::{RecvConfig, RunState};
+pub use exec::{RecvConfig, RunState, WatchdogConfig};
 pub use feedback::{CostCalibration, DecisionDelta, PeerWaitStats};
 pub use obs::{sim_breakdown, sim_spans, utilization_trace, SimBreakdown};
 pub use hybrid::HybridConfig;
@@ -57,3 +57,12 @@ pub use store::{CheckpointStore, StoreConfig};
 pub use trainer::{
     EngineKind, EpochStats, ReplanEvent, Trainer, TrainerConfig, TrainingReport,
 };
+
+/// Serializes tests that reconfigure the process-global tensor pool (the
+/// cap is shared by every test thread in the binary, so concurrent
+/// re-arming races otherwise).
+#[cfg(test)]
+pub(crate) fn pool_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -290,6 +290,9 @@ pub struct FeatureCache {
     pub misses: u64,
     /// Rows evicted to stay within capacity.
     pub evictions: u64,
+    /// Rows dropped by memory-pressure shedding (distinct from capacity
+    /// evictions: these free heap for the budgeted tensor pool).
+    pub sheds: u64,
 }
 
 impl FeatureCache {
@@ -303,6 +306,7 @@ impl FeatureCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            sheds: 0,
         }
     }
 
@@ -365,6 +369,35 @@ impl FeatureCache {
         }
         self.recency.push_back((v, self.tick));
         self.map.insert(v, (row, self.tick));
+    }
+
+    /// Drops least-recently-used rows until at most `target` remain.
+    /// The memory-pressure relief valve: cached rows are the shard's one
+    /// elastic allocation, so they go first when the tensor-pool budget
+    /// tightens. Returns the number of rows dropped.
+    pub fn shed_to(&mut self, target: usize) -> u64 {
+        let mut dropped = 0u64;
+        while self.map.len() > target {
+            match self.recency.pop_front() {
+                Some((old, t)) => {
+                    let live = self.map.get(&old).is_some_and(|(_, lt)| *lt == t);
+                    if live {
+                        self.map.remove(&old);
+                        dropped += 1;
+                    }
+                }
+                None => {
+                    if let Some(&k) = self.map.keys().next() {
+                        self.map.remove(&k);
+                        dropped += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.sheds += dropped;
+        dropped
     }
 }
 
@@ -998,6 +1031,13 @@ impl ShardWorker<'_, '_> {
                         if ep.send(0, MessageKind::Reply { qids, classes }).is_err() {
                             break; // frontend gone — run is over
                         }
+                        // Degrade, don't die: when the process-wide tensor
+                        // pool is past its pressure threshold, halve the
+                        // cache rather than compete with training for the
+                        // remaining budget. Misses repopulate after heal.
+                        if ns_tensor::pool::under_pressure() && cache.len() > 1 {
+                            cache.shed_to(cache.len() / 2);
+                        }
                     }
                     MessageKind::Control(v) if v == CTRL_SHUTDOWN => break,
                     _ => {}
@@ -1295,6 +1335,7 @@ fn export_cache_stats(rec: &MetricsRecorder, cache: &FeatureCache) {
     rec.incr("serve.cache.hits", cache.hits);
     rec.incr("serve.cache.misses", cache.misses);
     rec.incr("serve.cache.evictions", cache.evictions);
+    rec.incr("serve.cache.shed", cache.sheds);
 }
 
 fn export_net_stats(rec: &MetricsRecorder, ep: &Endpoint) {
@@ -1391,6 +1432,24 @@ mod tests {
         c.insert(1, vec![1.0]);
         assert!(c.lookup(1).is_none());
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn feature_cache_sheds_lru_rows_under_pressure() {
+        let mut c = FeatureCache::new(8);
+        for v in 0..8u32 {
+            c.insert(v, vec![v as f32]);
+        }
+        assert_eq!(c.lookup(0).unwrap(), &[0.0]); // 0 becomes most recent
+        let dropped = c.shed_to(4);
+        assert_eq!(dropped, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.sheds, 4);
+        // The refreshed row survived; the stalest ones went first.
+        assert!(c.lookup(0).is_some());
+        assert!(c.lookup(1).is_none());
+        // Shedding to the current size (or above) is a no-op.
+        assert_eq!(c.shed_to(10), 0);
     }
 
     fn cora_deploy() -> (Dataset, GnnModel) {

@@ -55,6 +55,14 @@ pub const HEADER_BYTES: usize = 40;
 
 const MANIFEST: &str = "MANIFEST";
 const FLAG_HAS_OPT: u32 = 1;
+/// POSIX "no space left on device".
+const ENOSPC: i32 = 28;
+
+/// ENOSPC-class check covering both the injected fault (constructed with
+/// raw OS error 28) and a genuinely full filesystem.
+fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(ENOSPC)
+}
 
 /// Where (and how much) the trainer persists checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,7 +109,56 @@ pub struct SaveReceipt {
     pub bytes: u64,
     /// Wall time spent in `fsync` calls (file, manifest, directory).
     pub fsync_ns: u64,
+    /// Extra wall time charged by an injected slow-disk fault.
+    pub slow_penalty_ns: u64,
 }
+
+/// What [`CheckpointStore::save_degrading`] did — a save that survives
+/// ENOSPC by squeezing retention instead of aborting training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// The receipt, when a generation actually landed on disk. `None`
+    /// means the generation was deferred to the next cadence.
+    pub receipt: Option<SaveReceipt>,
+    /// ENOSPC-class failures absorbed during this save.
+    pub enospc_hits: u64,
+    /// Whether this save squeezed retention down to keep-last-1.
+    pub squeezed: bool,
+    /// Whether the generation was deferred (disk still full after the
+    /// whole fallback chain). The in-memory checkpoint remains valid.
+    pub deferred: bool,
+}
+
+/// The newest→oldest fallback chain found nothing loadable: the store
+/// directory is empty, or every generation present is damaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreExhausted {
+    /// The store directory that was walked.
+    pub dir: PathBuf,
+    /// Generations present (and skipped as damaged) when the chain ended.
+    pub generations: usize,
+    /// Damaged generations skipped before giving up.
+    pub fallbacks: u64,
+}
+
+impl std::fmt::Display for StoreExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.generations == 0 {
+            write!(f, "checkpoint store {} holds no generations", self.dir.display())
+        } else {
+            write!(
+                f,
+                "checkpoint store {} exhausted: all {} generations damaged \
+                 ({} fallbacks)",
+                self.dir.display(),
+                self.generations,
+                self.fallbacks
+            )
+        }
+    }
+}
+
+impl std::error::Error for StoreExhausted {}
 
 /// Result of [`CheckpointStore::load_latest`].
 #[derive(Debug)]
@@ -122,6 +179,16 @@ pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
     next_gen: u64,
+    /// Injected disk-full window is active (chaos harness). The squeeze
+    /// frees enough space for writes to land again.
+    injected_full: bool,
+    /// Injected *hard* disk-full: even the post-squeeze retry fails, so
+    /// saves defer to the next cadence.
+    injected_hard: bool,
+    /// Injected fsync slowdown factor; 1.0 = healthy disk.
+    slow_factor: f64,
+    /// Retention has been squeezed to keep-last-1 by an ENOSPC.
+    squeezed: bool,
 }
 
 impl CheckpointStore {
@@ -136,7 +203,15 @@ impl CheckpointStore {
                 next_gen = next_gen.max(seq + 1);
             }
         }
-        Ok(Self { dir: dir.to_path_buf(), keep: keep.max(1), next_gen })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            keep: keep.max(1),
+            next_gen,
+            injected_full: false,
+            injected_hard: false,
+            slow_factor: 1.0,
+            squeezed: false,
+        })
     }
 
     /// Root directory of the store.
@@ -144,27 +219,59 @@ impl CheckpointStore {
         &self.dir
     }
 
+    /// Current retention depth (1 after an ENOSPC squeeze).
+    pub fn keep_depth(&self) -> usize {
+        self.keep
+    }
+
+    /// Whether an ENOSPC has squeezed retention to keep-last-1.
+    pub fn is_squeezed(&self) -> bool {
+        self.squeezed
+    }
+
+    /// Arms (or disarms) the injected disk fate for subsequent saves.
+    /// `full` models an ENOSPC window; `slow_factor` ≥ 1 multiplies the
+    /// fsync cost. Injection behaves exactly like the real thing: a full
+    /// disk fails the write with OS error 28 until retention is squeezed
+    /// (the prune frees space), after which writes land again.
+    pub fn set_disk_fate(&mut self, full: bool, slow_factor: f64) {
+        self.injected_full = full;
+        self.slow_factor = slow_factor.max(1.0);
+    }
+
+    /// Arms an injected disk-full so severe that even the post-squeeze
+    /// retry fails — the path where a save defers to the next cadence.
+    pub fn set_disk_fate_hard(&mut self, full: bool) {
+        self.injected_hard = full;
+    }
+
     /// Persists `ckpt` as the next generation and prunes past the
     /// retention depth. The write is atomic (temp file → fsync → rename →
     /// manifest rewrite → directory sync).
     pub fn save(&mut self, ckpt: &Checkpoint, world: usize) -> io::Result<SaveReceipt> {
+        // Injected disk-full window: refuse the write with the same error
+        // a real full filesystem produces, until the retention squeeze
+        // frees space. Checked before any bytes are staged so a failed
+        // save leaves the store exactly as it was.
+        if self.injected_hard || (self.injected_full && !self.squeezed) {
+            return Err(io::Error::from_raw_os_error(ENOSPC));
+        }
         let mut payload = ckpt.raw_bytes().to_vec();
         let mut flags = 0u32;
         if let Some(opt) = ckpt.opt_state() {
             flags |= FLAG_HAS_OPT;
             encode_opt(opt, &mut payload);
         }
-        let mut file_bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
-        file_bytes.extend_from_slice(STORE_MAGIC);
-        file_bytes.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
-        file_bytes.extend_from_slice(&(ckpt.next_epoch as u32).to_le_bytes());
-        file_bytes.extend_from_slice(&(world as u32).to_le_bytes());
-        file_bytes.extend_from_slice(&flags.to_le_bytes());
-        file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        file_bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
-        let header_crc = crc32(&file_bytes);
-        file_bytes.extend_from_slice(&header_crc.to_le_bytes());
-        file_bytes.extend_from_slice(&payload);
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(STORE_MAGIC);
+        header.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        header.extend_from_slice(&(ckpt.next_epoch as u32).to_le_bytes());
+        header.extend_from_slice(&(world as u32).to_le_bytes());
+        header.extend_from_slice(&flags.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let header_crc = crc32(&header);
+        header.extend_from_slice(&header_crc.to_le_bytes());
 
         let name = gen_name(self.next_gen, ckpt.next_epoch);
         let final_path = self.dir.join(&name);
@@ -175,7 +282,15 @@ impl CheckpointStore {
         let mut fsync_ns = 0u64;
         {
             let mut f = File::create(&tmp_path)?;
-            f.write_all(&file_bytes)?;
+            f.write_all(&header)?;
+            // Header and payload are written separately — never
+            // concatenated into a second full copy — and the payload in
+            // pool-advised slices, so a memory-pressure window also
+            // bounds each write burst.
+            let slice = ns_tensor::pool::advise_chunk(payload.len()).max(1);
+            for chunk in payload.chunks(slice) {
+                f.write_all(chunk)?;
+            }
             fsync_ns += timed_sync(&f)?;
         }
         fs::rename(&tmp_path, &final_path)?;
@@ -191,25 +306,119 @@ impl CheckpointStore {
         fsync_ns += self.write_manifest(&gens)?;
         fsync_ns += timed_sync(&File::open(&self.dir)?)?;
 
-        Ok(SaveReceipt { path: final_path, bytes: file_bytes.len() as u64, fsync_ns })
+        // Injected slow disk: charge the extra fsync latency for real (so
+        // spans and the watchdog see it), bounded so soaks stay quick.
+        let mut slow_penalty_ns = 0;
+        if self.slow_factor > 1.0 {
+            slow_penalty_ns = (fsync_ns as f64 * (self.slow_factor - 1.0)) as u64;
+            let nap = slow_penalty_ns.min(20_000_000); // ≤ 20 ms per save
+            std::thread::sleep(std::time::Duration::from_nanos(nap));
+        }
+
+        Ok(SaveReceipt {
+            path: final_path,
+            bytes: (header.len() + payload.len()) as u64,
+            fsync_ns,
+            slow_penalty_ns,
+        })
+    }
+
+    /// Saves with the degrade-don't-die policy: an ENOSPC-class failure
+    /// squeezes retention to keep-last-1 (pruning frees space), retries
+    /// once, and — if the disk is *still* full — defers the generation to
+    /// the next cadence instead of erroring. Only non-ENOSPC I/O failures
+    /// (permissions, rename, …) surface as errors; training state is
+    /// never at risk because the in-memory checkpoint stays valid.
+    pub fn save_degrading(
+        &mut self,
+        ckpt: &Checkpoint,
+        world: usize,
+    ) -> io::Result<SaveOutcome> {
+        match self.save(ckpt, world) {
+            Ok(receipt) => Ok(SaveOutcome {
+                receipt: Some(receipt),
+                enospc_hits: 0,
+                squeezed: false,
+                deferred: false,
+            }),
+            Err(e) if is_enospc(&e) => {
+                let mut enospc_hits = 1;
+                let squeezed = !self.squeezed;
+                self.squeeze_retention()?;
+                match self.save(ckpt, world) {
+                    Ok(receipt) => Ok(SaveOutcome {
+                        receipt: Some(receipt),
+                        enospc_hits,
+                        squeezed,
+                        deferred: false,
+                    }),
+                    Err(e2) if is_enospc(&e2) => {
+                        enospc_hits += 1;
+                        Ok(SaveOutcome {
+                            receipt: None,
+                            enospc_hits,
+                            squeezed,
+                            deferred: true,
+                        })
+                    }
+                    Err(e2) => Err(e2),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Squeezes retention to keep-last-1 and prunes everything but the
+    /// newest generation right now, freeing disk for the retry. Sticky:
+    /// once a run has hit ENOSPC the store stays at keep-last-1.
+    fn squeeze_retention(&mut self) -> io::Result<()> {
+        self.keep = 1;
+        self.squeezed = true;
+        let mut gens = self.generations()?;
+        if gens.len() > 1 {
+            let keep_newest = gens.split_off(gens.len() - 1);
+            for evicted in gens {
+                let _ = fs::remove_file(self.dir.join(evicted));
+            }
+            self.write_manifest(&keep_newest)?;
+        }
+        Ok(())
     }
 
     /// Generation filenames in manifest order (oldest first). Falls back
     /// to a directory scan when the manifest is missing or unreadable.
     pub fn generations(&self) -> io::Result<Vec<String>> {
         match fs::read_to_string(self.dir.join(MANIFEST)) {
-            Ok(text) => Ok(text.lines().map(str::to_owned).filter(|l| !l.is_empty()).collect()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                let mut names: Vec<String> = fs::read_dir(&self.dir)?
-                    .filter_map(|e| e.ok())
-                    .map(|e| e.file_name().to_string_lossy().into_owned())
-                    .filter(|n| parse_gen_seq(n).is_some())
+            Ok(text) => {
+                // A corrupt manifest (garbage lines, no valid generation
+                // names) must not hide generations that are on disk:
+                // ignore unparseable lines and rescue via directory scan
+                // when nothing valid remains.
+                let names: Vec<String> = text
+                    .lines()
+                    .map(str::to_owned)
+                    .filter(|l| parse_gen_seq(l).is_some())
                     .collect();
-                names.sort();
-                Ok(names)
+                if names.is_empty() {
+                    self.scan_generations()
+                } else {
+                    Ok(names)
+                }
             }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.scan_generations(),
             Err(e) => Err(e),
         }
+    }
+
+    /// Directory-scan fallback for a missing or corrupt manifest.
+    fn scan_generations(&self) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| parse_gen_seq(n).is_some())
+            .collect();
+        names.sort();
+        Ok(names)
     }
 
     /// Loads the newest generation that verifies, skipping (and counting)
@@ -233,6 +442,24 @@ impl CheckpointStore {
             }
         }
         LoadReport { checkpoint: None, world: None, fallbacks }
+    }
+
+    /// Like [`load_latest`](Self::load_latest), but an empty store — or
+    /// one whose every generation is damaged — is a typed
+    /// [`StoreExhausted`] error instead of a silent `None`. This is the
+    /// end of the newest→oldest fallback chain, the only point where the
+    /// resource-robustness layer is allowed to give up.
+    pub fn load_latest_strict(&self) -> Result<(Checkpoint, usize, u64), StoreExhausted> {
+        let generations = self.generations().map(|g| g.len()).unwrap_or(0);
+        let report = self.load_latest();
+        match report.checkpoint {
+            Some(ckpt) => Ok((ckpt, report.world.unwrap_or(0), report.fallbacks)),
+            None => Err(StoreExhausted {
+                dir: self.dir.clone(),
+                generations,
+                fallbacks: report.fallbacks,
+            }),
+        }
     }
 
     /// Flips one bit of the newest generation file (bit `seed` modulo the
@@ -625,6 +852,143 @@ mod tests {
         ] {
             assert_eq!(ns_net::crc32(sample), crc32(sample));
         }
+    }
+
+    #[test]
+    fn keep_last_one_retains_only_the_newest_generation() {
+        let scratch = Scratch::new("keep1");
+        let mut store = CheckpointStore::open(&scratch.0, 1).unwrap();
+        for epoch in 1..=3 {
+            store.save(&Checkpoint::capture(epoch, &sample_store(), None), 2).unwrap();
+        }
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 1, "{gens:?}");
+        let on_disk = fs::read_dir(&scratch.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| parse_gen_seq(&e.file_name().to_string_lossy()).is_some())
+            .count();
+        assert_eq!(on_disk, 1, "older generations must be pruned from disk");
+        assert_eq!(store.load_latest().checkpoint.unwrap().next_epoch, 3);
+    }
+
+    #[test]
+    fn missing_manifest_with_generations_present_loads_via_scan() {
+        let scratch = Scratch::new("nomanifest");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.save(&Checkpoint::capture(2, &sample_store(), None), 2).unwrap();
+        store.save(&Checkpoint::capture(4, &sample_store(), None), 2).unwrap();
+        fs::remove_file(scratch.0.join(MANIFEST)).unwrap();
+        let report = store.load_latest();
+        assert_eq!(report.fallbacks, 0);
+        assert_eq!(report.checkpoint.unwrap().next_epoch, 4);
+    }
+
+    #[test]
+    fn corrupt_manifest_with_generations_present_loads_via_scan() {
+        let scratch = Scratch::new("badmanifest");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.save(&Checkpoint::capture(2, &sample_store(), None), 2).unwrap();
+        store.save(&Checkpoint::capture(4, &sample_store(), None), 2).unwrap();
+        fs::write(scratch.0.join(MANIFEST), "garbage\n\u{fffd}\u{fffd}\nnot-a-gen\n")
+            .unwrap();
+        let report = store.load_latest();
+        assert_eq!(report.fallbacks, 0, "scan rescue must not burn fallbacks");
+        assert_eq!(report.checkpoint.unwrap().next_epoch, 4);
+    }
+
+    #[test]
+    fn empty_store_exhausts_the_chain_with_a_typed_error() {
+        let scratch = Scratch::new("emptystrict");
+        let store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        let err = store.load_latest_strict().unwrap_err();
+        assert_eq!(err.generations, 0);
+        assert_eq!(err.fallbacks, 0);
+        assert!(err.to_string().contains("no generations"), "{err}");
+    }
+
+    #[test]
+    fn all_damaged_store_exhausts_the_chain_with_a_typed_error() {
+        let scratch = Scratch::new("alldamagedstrict");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.save(&Checkpoint::capture(2, &sample_store(), None), 2).unwrap();
+        store.save(&Checkpoint::capture(4, &sample_store(), None), 2).unwrap();
+        for name in store.generations().unwrap() {
+            let path = scratch.0.join(name);
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[HEADER_BYTES + 1] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+        }
+        let err = store.load_latest_strict().unwrap_err();
+        assert_eq!(err.generations, 2);
+        assert_eq!(err.fallbacks, 2);
+        assert!(err.to_string().contains("exhausted"), "{err}");
+    }
+
+    #[test]
+    fn enospc_squeezes_retention_and_lands_the_retry() {
+        let scratch = Scratch::new("enospc");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.save(&Checkpoint::capture(1, &sample_store(), None), 2).unwrap();
+        store.save(&Checkpoint::capture(2, &sample_store(), None), 2).unwrap();
+        store.set_disk_fate(true, 1.0);
+        let out = store.save_degrading(&Checkpoint::capture(3, &sample_store(), None), 2)
+            .unwrap();
+        assert!(out.receipt.is_some(), "retry after squeeze must land");
+        assert_eq!(out.enospc_hits, 1);
+        assert!(out.squeezed);
+        assert!(!out.deferred);
+        assert!(store.is_squeezed());
+        assert_eq!(store.keep_depth(), 1);
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 1, "squeeze prunes to keep-last-1: {gens:?}");
+        assert_eq!(store.load_latest().checkpoint.unwrap().next_epoch, 3);
+
+        // Healed window: subsequent saves stay at keep-last-1 but succeed
+        // first try.
+        store.set_disk_fate(false, 1.0);
+        let out = store.save_degrading(&Checkpoint::capture(4, &sample_store(), None), 2)
+            .unwrap();
+        assert_eq!(out.enospc_hits, 0);
+        assert!(!out.squeezed, "squeeze is reported only when it happens");
+        assert_eq!(store.generations().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn hard_disk_full_defers_the_generation_without_erroring() {
+        let scratch = Scratch::new("harddisk");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.save(&Checkpoint::capture(1, &sample_store(), None), 2).unwrap();
+        store.set_disk_fate_hard(true);
+        let out = store.save_degrading(&Checkpoint::capture(2, &sample_store(), None), 2)
+            .unwrap();
+        assert!(out.receipt.is_none());
+        assert!(out.deferred);
+        assert_eq!(out.enospc_hits, 2, "first try + post-squeeze retry both hit");
+        // The generation from before the window is still loadable.
+        assert_eq!(store.load_latest().checkpoint.unwrap().next_epoch, 1);
+        // Heal, retry at the next cadence: the deferred save lands.
+        store.set_disk_fate_hard(false);
+        let out = store.save_degrading(&Checkpoint::capture(2, &sample_store(), None), 2)
+            .unwrap();
+        assert!(out.receipt.is_some());
+        assert_eq!(store.load_latest().checkpoint.unwrap().next_epoch, 2);
+    }
+
+    #[test]
+    fn slow_disk_charges_a_bounded_penalty() {
+        let scratch = Scratch::new("slowdisk");
+        let mut store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        store.set_disk_fate(false, 3.0);
+        let receipt =
+            store.save(&Checkpoint::capture(1, &sample_store(), None), 2).unwrap();
+        assert!(
+            receipt.slow_penalty_ns >= receipt.fsync_ns,
+            "3x slowdown must charge at least 2x the fsync time \
+             (penalty {} vs fsync {})",
+            receipt.slow_penalty_ns,
+            receipt.fsync_ns
+        );
     }
 
     #[test]

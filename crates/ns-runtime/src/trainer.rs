@@ -19,6 +19,7 @@ use crate::error::{FailureCause, Result, RuntimeError};
 use crate::feedback::{self, DecisionDelta};
 use crate::exec::{
     train_epochs_run, EpochMetrics, ExecConfig, OptimizerKind, RecvConfig, RunState, SyncMode,
+    WatchdogConfig,
 };
 use crate::hybrid::{partition_dependencies, HybridConfig, HybridInfo};
 use crate::memory::check_device_fit;
@@ -89,6 +90,11 @@ pub struct TrainerConfig {
     /// [`Trainer::prepare`], so the cost probe sees the same thread
     /// count the tensor kernels will run with.
     pub threads: usize,
+    /// Liveness watchdog policy (`None` = no supervisor thread). Catches
+    /// a worker that stops making epoch progress while holding no fabric
+    /// operation — the failure mode receive timeouts can't see — and
+    /// routes it through the same eviction/rejoin machinery as a crash.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl TrainerConfig {
@@ -110,6 +116,7 @@ impl TrainerConfig {
             store: StoreConfig::default(),
             recv: RecvConfig::default(),
             threads: 0,
+            watchdog: None,
         }
     }
 }
@@ -621,8 +628,29 @@ impl<'a> Trainer<'a> {
                 fault: fault.clone(),
                 recv: self.cfg.recv,
                 origin: Some(origin),
+                watchdog: self.cfg.watchdog,
             };
-            match train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run) {
+            // Injected memory pressure arms at chunk granularity: the cap
+            // lands before the chunk's workers spawn and lifts after they
+            // have all joined, when nothing holds pooled buffers — the
+            // shrink itself can then never invalidate a live tensor. A
+            // window that touches *any* epoch of the chunk arms the whole
+            // chunk (tightest cap wins), so sub-cadence windows are never
+            // silently skipped. The high-water mark since arming is
+            // exported at every disarm.
+            let mem_cap = (ckpt.next_epoch..ckpt.next_epoch + chunk)
+                .filter_map(|e| fault.mem_cap_at(e))
+                .min();
+            if let Some(cap) = mem_cap {
+                ns_tensor::pool::set_cap_bytes(cap);
+            }
+            let chunk_result =
+                train_epochs_run(self.dataset, self.model, &plans, chunk, exec_cfg, &run);
+            if mem_cap.is_some() {
+                coord.observe("alloc.peak_bytes", ns_tensor::pool::stats().peak_bytes);
+                ns_tensor::pool::set_cap_bytes(ns_tensor::pool::default_cap_bytes());
+            }
+            match chunk_result {
                 Ok((chunk_metrics, store_params, opt, chunk_run)) => {
                     metrics.extend(chunk_metrics);
                     let boundary = ckpt.next_epoch + chunk;
@@ -631,17 +659,42 @@ impl<'a> Trainer<'a> {
                         coord.incr("recovery.checkpoints", 1);
                         ckpt = Checkpoint::capture(boundary, &store_params, opt);
                         if let Some(st) = store.as_mut() {
-                            let receipt = st
-                                .save(&ckpt, plans.len())
+                            st.set_disk_fate(
+                                fault.disk_full_at(boundary),
+                                fault.slow_disk_factor(),
+                            );
+                            // Degrade, don't die: ENOSPC squeezes retention
+                            // toward keep-last-1 and retries; only a failure
+                            // of the squeezed retry defers the generation
+                            // (durability thins, training continues).
+                            let outcome = st
+                                .save_degrading(&ckpt, plans.len())
                                 .map_err(|e| RuntimeError::StoreIo(e.to_string()))?;
-                            coord.observe("ckpt.fsync_ns", receipt.fsync_ns);
-                            // Injected on-disk bit rot (chaos `corrupt:ckpt`
-                            // faults) lands on the persisted copy only; the
-                            // in-memory checkpoint stays clean, exactly like
-                            // real silent disk corruption.
-                            if let Some(bits) = fault.ckpt_fate(boundary) {
-                                st.damage_latest(bits)
-                                    .map_err(|e| RuntimeError::StoreIo(e.to_string()))?;
+                            if outcome.enospc_hits > 0 {
+                                coord.incr("ckpt.enospc", outcome.enospc_hits);
+                            }
+                            if outcome.squeezed {
+                                coord.incr("ckpt.retention_squeezed", 1);
+                            }
+                            if outcome.deferred {
+                                coord.incr("ckpt.deferred", 1);
+                            }
+                            if let Some(receipt) = outcome.receipt {
+                                coord.observe("ckpt.fsync_ns", receipt.fsync_ns);
+                                if receipt.slow_penalty_ns > 0 {
+                                    coord.incr(
+                                        "ckpt.slow_disk_penalty_ns",
+                                        receipt.slow_penalty_ns,
+                                    );
+                                }
+                                // Injected on-disk bit rot (chaos `corrupt:ckpt`
+                                // faults) lands on the persisted copy only; the
+                                // in-memory checkpoint stays clean, exactly like
+                                // real silent disk corruption.
+                                if let Some(bits) = fault.ckpt_fate(boundary) {
+                                    st.damage_latest(bits)
+                                        .map_err(|e| RuntimeError::StoreIo(e.to_string()))?;
+                                }
                             }
                         }
                     }
@@ -738,7 +791,7 @@ impl<'a> Trainer<'a> {
                         }
                     }
                 }
-                Err(RuntimeError::WorkerFailed { worker, epoch, .. })
+                Err(RuntimeError::WorkerFailed { worker, epoch, cause })
                     if restarts < self.cfg.recovery.max_restarts && plans.len() > 1 =>
                 {
                     // Chunks are atomic: the failed chunk contributed no
@@ -752,8 +805,16 @@ impl<'a> Trainer<'a> {
                     restarts += 1;
                     coord.incr("recovery.rollbacks", 1);
                     coord.incr("membership.failures", 1);
+                    if cause == FailureCause::Hung {
+                        // The worker frames of a failed chunk are discarded,
+                        // so the surviving coordinator recorder carries the
+                        // actionable-trip count: one per hung worker the
+                        // watchdog routed into recovery.
+                        coord.incr("watchdog.trips", 1);
+                    }
                     let slot = view.mark_failed(worker, epoch);
                     fault.retire_kill(worker, epoch);
+                    fault.retire_hang(worker, epoch);
                     // A partitioned (not killed) worker surfaces here too —
                     // its receives time out just like a death. Retiring the
                     // slot's link faults lets the re-admitted member run on
@@ -821,6 +882,7 @@ impl<'a> Trainer<'a> {
             let run = RunState {
                 fault: self.cfg.fault.clone(),
                 recv: self.cfg.recv,
+                watchdog: self.cfg.watchdog,
                 ..Default::default()
             };
             let (m, p, _, rm) = train_epochs_run(
@@ -1076,6 +1138,115 @@ mod tests {
             "rejoin must meter the state snapshot"
         );
         assert!(report.final_loss() < report.epochs[0].loss);
+    }
+
+    #[test]
+    fn watchdog_detects_hang_and_recovery_resumes() {
+        use ns_net::fault::Fault;
+        use ns_net::MembershipEventKind;
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 3);
+        c.fault = FaultPlan::default().with_fault(Fault::Hang { worker: 1, epoch: 2 });
+        c.recovery = RecoveryConfig::every(1).with_rejoin();
+        c.watchdog = Some(WatchdogConfig { multiplier: 4.0, floor_ms: 100, poll_ms: 2 });
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(5).unwrap();
+        assert_eq!(report.epochs.len(), 5, "hung run must finish");
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].0, 1, "worker 1 was the hung one");
+        // The hang routes through the same membership machinery as a
+        // crash: failure, then rejoin at the next boundary.
+        let kinds: Vec<_> = report.membership.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![MembershipEventKind::Failed, MembershipEventKind::Rejoined]
+        );
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert!(
+            coord.counter("watchdog.trips") >= 1,
+            "the trip that evicted the hung worker must be metered"
+        );
+        assert!(report.final_loss() < report.epochs[0].loss);
+    }
+
+    #[test]
+    fn disk_full_window_degrades_retention_and_finishes() {
+        use ns_net::fault::Fault;
+        let ds = dataset();
+        let m = model(&ds);
+        let dir = std::env::temp_dir()
+            .join(format!("nts-trainer-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = cfg(EngineKind::DepComm, 2);
+        c.fault = FaultPlan::default()
+            .with_fault(Fault::DiskFull { from_epoch: 2, heal_epoch: 4 });
+        c.recovery = RecoveryConfig::every(1);
+        c.store = StoreConfig::at(&dir).keep(3);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(6).unwrap();
+        assert_eq!(report.epochs.len(), 6, "disk-full run must finish, not abort");
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert!(coord.counter("ckpt.enospc") >= 1, "the ENOSPC window was hit");
+        assert!(
+            coord.counter("ckpt.retention_squeezed") >= 1,
+            "retention must squeeze rather than fail the run"
+        );
+        // The store survives the window with at least one loadable
+        // generation.
+        let st = CheckpointStore::open(&dir, 3).unwrap();
+        let loaded = st.load_latest();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(loaded.checkpoint.is_some(), "a generation must remain loadable");
+    }
+
+    #[test]
+    fn slow_disk_meters_a_bounded_penalty() {
+        use ns_net::fault::Fault;
+        let ds = dataset();
+        let m = model(&ds);
+        let dir = std::env::temp_dir()
+            .join(format!("nts-trainer-slowdisk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = cfg(EngineKind::DepComm, 2);
+        c.fault = FaultPlan::default().with_fault(Fault::SlowDisk { factor: 3.0 });
+        c.recovery = RecoveryConfig::every(1);
+        c.store = StoreConfig::at(&dir).keep(2);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(3).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        assert!(
+            coord.counter("ckpt.slow_disk_penalty_ns") > 0,
+            "a 3x slow disk must charge fsync penalty time"
+        );
+    }
+
+    #[test]
+    fn mem_pressure_window_records_the_high_water_mark() {
+        use ns_net::fault::Fault;
+        let _pool = crate::pool_test_guard();
+        let ds = dataset();
+        let m = model(&ds);
+        let mut c = cfg(EngineKind::DepComm, 2);
+        // A generous cap: the invariant under test is the arming/metering
+        // path, not the shed behavior (pool unit tests cover that).
+        c.fault = FaultPlan::default().with_fault(Fault::MemPressure {
+            cap_bytes: 1 << 30,
+            from_epoch: 1,
+            heal_epoch: 3,
+        });
+        c.recovery = RecoveryConfig::every(1);
+        let trainer = Trainer::prepare(&ds, &m, c).unwrap();
+        let report = trainer.train(4).unwrap();
+        assert_eq!(report.epochs.len(), 4);
+        let coord = report.metrics.frames.get(&COORDINATOR).unwrap();
+        let peak = coord
+            .histograms
+            .get("alloc.peak_bytes")
+            .expect("pressured chunks must export the high-water mark");
+        assert!(peak.count >= 1);
+        assert!(peak.max <= 1 << 30, "peak must respect the injected cap");
     }
 
     #[test]
